@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	hbbmc "github.com/graphmining/hbbmc"
+)
+
+func TestBuildOptions(t *testing.T) {
+	opts, err := buildOptions("hbbmc", 3, true, 1, "truss", "pivot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Algorithm != hbbmc.HBBMC || opts.ET != 3 || !opts.GR {
+		t.Fatalf("opts = %+v", opts)
+	}
+	opts, err = buildOptions("BKDegen", 0, false, 1, "degeneracy", "rcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Algorithm != hbbmc.BKDegen || opts.EdgeOrder != hbbmc.EdgeOrderDegeneracy || opts.Inner != hbbmc.InnerRcd {
+		t.Fatalf("opts = %+v", opts)
+	}
+	for _, bad := range [][3]string{
+		{"nope", "truss", "pivot"},
+		{"hbbmc", "nope", "pivot"},
+		{"hbbmc", "truss", "nope"},
+	} {
+		if _, err := buildOptions(bad[0], 3, true, 1, bad[1], bad[2]); err == nil {
+			t.Errorf("buildOptions(%v) should fail", bad)
+		}
+	}
+}
+
+func TestLoadFormats(t *testing.T) {
+	dir := t.TempDir()
+	el := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(el, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := load(el, "edgelist")
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("edgelist load: %v %v", g, err)
+	}
+	dm := filepath.Join(dir, "g.col")
+	if err := os.WriteFile(dm, []byte("p edge 3 2\ne 1 2\ne 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = load(dm, "dimacs")
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("dimacs load: %v %v", g, err)
+	}
+	if _, err := load(el, "nope"); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if _, err := load(filepath.Join(dir, "missing"), "edgelist"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	got := keys(map[string]int{"c": 1, "a": 2, "b": 3})
+	if got != "a|b|c" {
+		t.Fatalf("keys = %q", got)
+	}
+}

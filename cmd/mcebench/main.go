@@ -1,0 +1,112 @@
+// Command mcebench reproduces the paper's experiments (Tables I–VI and
+// Figure 5) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	mcebench -table 2                 # one table
+//	mcebench -figure 5a               # one figure panel
+//	mcebench -all                     # everything (several minutes)
+//	mcebench -table 5 -datasets NA,WE # restrict the dataset list
+//	mcebench -reps 3                  # repeat timings, keep the fastest
+//
+// Every run cross-checks that all configurations report identical clique
+// counts; a mismatch aborts with an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/graphmining/hbbmc/internal/benchharness"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table number to reproduce (1-6)")
+		figure   = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
+		all      = flag.Bool("all", false, "run every table and figure")
+		datasets = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
+		reps     = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
+		seeds    = flag.Int("seeds", 3, "random graphs per figure sweep point")
+	)
+	flag.Parse()
+
+	cfg := benchharness.Config{Reps: *reps}
+	if *datasets != "" {
+		for _, d := range strings.Split(*datasets, ",") {
+			cfg.Datasets = append(cfg.Datasets, strings.TrimSpace(d))
+		}
+	}
+	fc := benchharness.DefaultFigureConfig()
+	fc.Seeds = *seeds
+
+	tables := map[int]func(benchharness.Config) (*benchharness.Table, error){
+		1: benchharness.Table1,
+		2: benchharness.Table2,
+		3: benchharness.Table3,
+		4: benchharness.Table4,
+		5: benchharness.Table5,
+		6: benchharness.Table6,
+	}
+	figures := map[string]func(benchharness.FigureConfig) (*benchharness.Table, error){
+		"5a": benchharness.Figure5a,
+		"5b": benchharness.Figure5b,
+		"5c": benchharness.Figure5c,
+		"5d": benchharness.Figure5d,
+	}
+
+	ran := false
+	runTable := func(n int) {
+		fn, ok := tables[n]
+		if !ok {
+			fatal(fmt.Errorf("unknown table %d (1-6)", n))
+		}
+		t, err := fn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+		ran = true
+	}
+	runFigure := func(name string) {
+		fn, ok := figures[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q (5a|5b|5c|5d)", name))
+		}
+		t, err := fn(fc)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+		ran = true
+	}
+
+	switch {
+	case *all:
+		for n := 1; n <= 6; n++ {
+			runTable(n)
+		}
+		for _, f := range []string{"5a", "5b", "5c", "5d"} {
+			runFigure(f)
+		}
+	case *table != 0:
+		runTable(*table)
+	case *figure != "":
+		runFigure(*figure)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command mcegen generates synthetic benchmark graphs as edge-list files.
+//
+// Usage:
+//
+//	mcegen -model er -n 100000 -m 2000000 -seed 1 -out er.txt
+//	mcegen -model ba -n 100000 -k 20 -seed 1 -out ba.txt
+//	mcegen -model sbm -communities 50 -size 100 -pin 0.5 -pout 0.01 -out sbm.txt
+//	mcegen -model moonmoser -s 10 -out mm.txt
+//	mcegen -dataset OR -out orkut-standin.txt
+//
+// The -dataset flag materialises one of the paper's Table I stand-ins (see
+// internal/dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/dataset"
+)
+
+func main() {
+	var (
+		model       = flag.String("model", "er", "generator: er|ba|sbm|moonmoser")
+		n           = flag.Int("n", 1000, "vertices (er, ba)")
+		m           = flag.Int("m", 10000, "edges (er)")
+		k           = flag.Int("k", 5, "edges per arrival (ba)")
+		s           = flag.Int("s", 5, "parts (moonmoser)")
+		communities = flag.Int("communities", 10, "blocks (sbm)")
+		size        = flag.Int("size", 50, "vertices per block (sbm)")
+		pin         = flag.Float64("pin", 0.3, "intra-block probability (sbm)")
+		pout        = flag.Float64("pout", 0.01, "inter-block probability (sbm)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		ds          = flag.String("dataset", "", "Table I stand-in code (NA, FB, ... overrides -model)")
+		out         = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *hbbmc.Graph
+	switch {
+	case *ds != "":
+		spec, ok := dataset.ByName(*ds)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q (known: %v)", *ds, dataset.Names()))
+		}
+		g = spec.Build()
+	default:
+		switch *model {
+		case "er":
+			g = hbbmc.GenerateER(*n, *m, *seed)
+		case "ba":
+			g = hbbmc.GenerateBA(*n, *k, *seed)
+		case "sbm":
+			g = hbbmc.GenerateSBM(*communities, *size, *pin, *pout, *seed)
+		case "moonmoser":
+			g = hbbmc.GenerateMoonMoser(*s)
+		default:
+			fatal(fmt.Errorf("unknown model %q", *model))
+		}
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := g.WriteEdgeList(dst); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mcegen: wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Package hbbmc is a maximal clique enumeration (MCE) library implementing
+// the hybrid branch-and-bound framework HBBMC of Wang, Yu & Long,
+// "Maximal Clique Enumeration with Hybrid Branching and Early Termination"
+// (ICDE 2025), together with the complete family of Bron–Kerbosch baselines
+// it is evaluated against.
+//
+// # Quick start
+//
+//	g, err := hbbmc.LoadEdgeListFile("graph.txt")
+//	if err != nil { ... }
+//	stats, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+//		fmt.Println(c) // one maximal clique; copy the slice to retain it
+//	})
+//
+// DefaultOptions selects HBBMC++ — hybrid branching over a truss-based edge
+// ordering, early termination for 3-plex candidate graphs, and graph
+// reduction — the configuration the paper shows dominating the state of the
+// art. Every published baseline (BK, BK_Pivot, BK_Ref, BK_Degen, BK_Degree,
+// BK_Rcd, BK_Fac, and the pure edge-oriented EBBMC) is available through
+// Options.Algorithm, and the paper's ablation knobs (early-termination
+// threshold t, hybrid switch depth d, edge-ordering choice, inner vertex
+// recursion) are all exposed.
+//
+// # Structure
+//
+// The root package is a thin facade over the internal engine:
+//
+//   - internal/core — the branch-and-bound engines and the ET/GR techniques
+//   - internal/graph — immutable CSR graphs and loaders
+//   - internal/order, internal/truss — degeneracy and truss orderings
+//   - internal/plex — direct enumeration from 2-/3-plex candidate graphs
+//   - internal/reduce — graph-reduction preprocessing
+//   - internal/gen — synthetic graph generators (ER, BA, SBM, ...)
+//   - internal/kclique — EBBkC k-clique listing, the paper's substrate [19]
+//
+// The cmd/ directory ships four tools: mce (enumerate), mcegen (generate
+// workloads), mcebench (reproduce the paper's tables and figures) and
+// mceverify (audit a clique file against its graph).
+package hbbmc

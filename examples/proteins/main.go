@@ -1,0 +1,184 @@
+// Proteins: protein-complex prediction in a synthetic protein-protein
+// interaction (PPI) network — the biological application motivating the
+// paper ([3],[4]).
+//
+// Protein complexes appear as dense, nearly complete subgraphs of the PPI
+// network, but experimental interaction data is noisy: some interactions
+// are missed. Maximal cliques are therefore merged when they overlap
+// heavily, producing complex predictions that tolerate missing edges. The
+// example compares the HBBMC++ and BK_Degen engines on the same network and
+// reports the predicted complexes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	hbbmc "github.com/graphmining/hbbmc"
+)
+
+const (
+	numProteins   = 3000
+	numComplexes  = 20
+	complexSize   = 12
+	detectionRate = 0.8 // fraction of true interactions observed
+	noisyPairs    = 6000
+)
+
+func main() {
+	g, truth := syntheticPPI()
+	fmt.Printf("PPI network: %d proteins, %d interactions, %d planted complexes\n",
+		g.NumVertices(), g.NumEdges(), len(truth))
+
+	// Enumerate maximal cliques with two engines and check agreement — the
+	// kind of cross-validation a production pipeline would run.
+	var cliques [][]int32
+	statsH, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+		if len(c) >= 4 {
+			cliques = append(cliques, append([]int32(nil), c...))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	countD, _, err := hbbmc.Count(g, hbbmc.Options{Algorithm: hbbmc.BKDegen, GR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if countD != statsH.Cliques {
+		log.Fatalf("engines disagree: HBBMC++ %d vs BK_Degen %d", statsH.Cliques, countD)
+	}
+	fmt.Printf("HBBMC++ and BK_Degen agree: %d maximal cliques (%d candidate cores of size ≥ 4)\n",
+		statsH.Cliques, len(cliques))
+
+	// Merge cliques with ≥ 2/3 overlap into complex predictions (greedy,
+	// largest first) — the standard defective-clique heuristic.
+	sort.Slice(cliques, func(i, j int) bool { return len(cliques[i]) > len(cliques[j]) })
+	var complexes [][]int32
+	used := make([]bool, len(cliques))
+	for i := range cliques {
+		if used[i] {
+			continue
+		}
+		merged := append([]int32(nil), cliques[i]...)
+		for j := i + 1; j < len(cliques); j++ {
+			if used[j] {
+				continue
+			}
+			if overlapRatio(merged, cliques[j]) >= 2.0/3.0 {
+				merged = unite(merged, cliques[j])
+				used[j] = true
+			}
+		}
+		used[i] = true
+		if len(merged) >= 6 {
+			complexes = append(complexes, merged)
+		}
+	}
+	fmt.Printf("predicted %d protein complexes (size ≥ 6)\n\n", len(complexes))
+
+	matched := 0
+	for t, planted := range truth {
+		best := 0.0
+		for _, com := range complexes {
+			if j := jaccard(planted, com); j > best {
+				best = j
+			}
+		}
+		status := "missed"
+		if best >= 0.5 {
+			matched++
+			status = fmt.Sprintf("recovered (Jaccard %.2f)", best)
+		}
+		fmt.Printf("complex %2d: %s\n", t, status)
+	}
+	fmt.Printf("\nrecovered %d/%d planted complexes\n", matched, len(truth))
+}
+
+func syntheticPPI() (*hbbmc.Graph, [][]int32) {
+	rng := rand.New(rand.NewSource(7))
+	b := hbbmc.NewBuilder(numProteins)
+	// Sparse background interactome.
+	for i := 0; i < noisyPairs; i++ {
+		b.AddEdge(int32(rng.Intn(numProteins)), int32(rng.Intn(numProteins)))
+	}
+	truth := make([][]int32, numComplexes)
+	for c := range truth {
+		seen := map[int32]bool{}
+		var members []int32
+		for len(members) < complexSize {
+			p := int32(rng.Intn(numProteins))
+			if !seen[p] {
+				seen[p] = true
+				members = append(members, p)
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		truth[c] = members
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < detectionRate {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+		}
+	}
+	return b.MustBuild(), truth
+}
+
+func overlapRatio(a, b []int32) float64 {
+	set := map[int32]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if set[v] {
+			inter++
+		}
+	}
+	small := len(a)
+	if len(b) < small {
+		small = len(b)
+	}
+	if small == 0 {
+		return 0
+	}
+	return float64(inter) / float64(small)
+}
+
+func unite(a, b []int32) []int32 {
+	set := map[int32]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func jaccard(a, b []int32) float64 {
+	set := map[int32]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if set[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,177 @@
+package hbbmc
+
+import (
+	"io"
+	"math"
+
+	"github.com/graphmining/hbbmc/internal/core"
+	"github.com/graphmining/hbbmc/internal/gen"
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/kclique"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. Build one with
+// NewBuilder, FromEdges or the loaders below.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Edge is an undirected edge used by FromEdges.
+type Edge = graph.Edge
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges constructs a Graph from an edge list (self-loops and duplicates
+// are dropped).
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// LoadEdgeList parses whitespace-separated "u v" lines ('#'/'%' comments).
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.LoadEdgeList(r) }
+
+// LoadEdgeListFile opens and parses an edge-list file.
+func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// LoadDIMACS parses the DIMACS clique format ("p edge n m" / "e u v").
+func LoadDIMACS(r io.Reader) (*Graph, error) { return graph.LoadDIMACS(r) }
+
+// Options configures an enumeration run; see the field documentation in
+// internal/core for the full contract of each knob.
+type Options = core.Options
+
+// Stats aggregates the counters of one run (clique count, branch counts,
+// early-termination ratios, timings).
+type Stats = core.Stats
+
+// Algorithm selects the enumeration framework.
+type Algorithm = core.Algorithm
+
+// Framework constants, mirroring the paper's algorithm names.
+const (
+	BK       = core.BK       // original Bron–Kerbosch (whole graph)
+	BKPivot  = core.BKPivot  // Tomita pivoting (whole graph)
+	BKRef    = core.BKRef    // Naudé's refined pivoting
+	BKDegen  = core.BKDegen  // Eppstein–Löffler–Strash degeneracy split
+	BKDegree = core.BKDegree // degree-ordered split
+	BKRcd    = core.BKRcd    // top-down min-degree removal
+	BKFac    = core.BKFac    // adaptive pivot maintenance
+	EBBMC    = core.EBBMC    // pure edge-oriented branching
+	HBBMC    = core.HBBMC    // the paper's hybrid framework
+)
+
+// InnerAlgorithm selects the vertex recursion inside hybrid branches.
+type InnerAlgorithm = core.InnerAlgorithm
+
+// Inner recursion constants for Options.Inner.
+const (
+	InnerPivot = core.InnerPivot
+	InnerRef   = core.InnerRef
+	InnerRcd   = core.InnerRcd
+	InnerFac   = core.InnerFac
+)
+
+// EdgeOrderKind selects the edge ordering for EBBMC/HBBMC.
+type EdgeOrderKind = core.EdgeOrderKind
+
+// Edge-ordering constants for Options.EdgeOrder.
+const (
+	EdgeOrderTruss      = core.EdgeOrderTruss
+	EdgeOrderDegeneracy = core.EdgeOrderDegeneracy
+	EdgeOrderMinDegree  = core.EdgeOrderMinDegree
+)
+
+// DefaultOptions returns the paper's strongest configuration, HBBMC++:
+// hybrid branching, early termination at t=3, graph reduction.
+func DefaultOptions() Options { return core.Defaults() }
+
+// Enumerate runs the configured algorithm and invokes emit once per maximal
+// clique. The slice passed to emit is reused between calls; copy it if you
+// retain it. emit may be nil to only collect statistics.
+func Enumerate(g *Graph, opts Options, emit func(clique []int32)) (*Stats, error) {
+	return core.Enumerate(g, opts, emit)
+}
+
+// Count returns the number of maximal cliques without materialising them.
+func Count(g *Graph, opts Options) (int64, *Stats, error) { return core.Count(g, opts) }
+
+// Collect returns every maximal clique as a fresh slice. Convenient for
+// small graphs; large graphs should stream through Enumerate.
+func Collect(g *Graph, opts Options) ([][]int32, *Stats, error) { return core.Collect(g, opts) }
+
+// Profile captures the structural parameters the paper's analysis depends
+// on: the degeneracy δ, the truss parameter τ, the edge density ρ = m/n and
+// the h-index.
+type Profile struct {
+	N, M      int
+	Delta     int     // degeneracy δ
+	Tau       int     // truss parameter τ (max support at truss-peeling time)
+	Rho       float64 // edge density m/n
+	HIndex    int
+	Triangles int64
+}
+
+// ProfileGraph computes a Profile (O(δm) dominated by the truss peeling).
+func ProfileGraph(g *Graph) Profile {
+	dec := truss.Decompose(g)
+	return Profile{
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		Delta:     order.DegeneracyOrdering(g).Value,
+		Tau:       dec.Tau,
+		Rho:       g.Density(),
+		HIndex:    order.HIndex(g),
+		Triangles: truss.CountTriangles(g),
+	}
+}
+
+// HybridConditionHolds reports whether δ ≥ max{3, τ + 3·lnρ/ln3}, the
+// condition under which HBBMC's O(δm + τm·3^{τ/3}) bound beats the best
+// known O(nδ·3^{δ/3}) (Remarks after Theorem 2).
+func (p Profile) HybridConditionHolds() bool {
+	if p.Rho <= 0 {
+		return p.Delta >= 3
+	}
+	threshold := float64(p.Tau) + 3*math.Log(p.Rho)/math.Log(3)
+	if threshold < 3 {
+		threshold = 3
+	}
+	return float64(p.Delta) >= threshold
+}
+
+// GenerateER samples an Erdős–Rényi G(n,m) graph (Appendix D's ER model).
+func GenerateER(n, m int, seed int64) *Graph { return gen.ER(n, m, seed) }
+
+// GenerateBA grows a Barabási–Albert graph with k edges per arrival
+// (Appendix D's BA model).
+func GenerateBA(n, k int, seed int64) *Graph { return gen.BA(n, k, seed) }
+
+// GenerateSBM samples a planted-partition graph with the given number of
+// communities of the given size.
+func GenerateSBM(communities, size int, pIn, pOut float64, seed int64) *Graph {
+	return gen.SBM(gen.SBMConfig{Communities: communities, Size: size, PIn: pIn, POut: pOut}, seed)
+}
+
+// GenerateMoonMoser returns the 3^s-maximal-clique worst-case family.
+func GenerateMoonMoser(s int) *Graph { return gen.MoonMoser(s) }
+
+// EnumerateParallel is Enumerate with the top-level branches distributed
+// over up to `workers` goroutines (0 = GOMAXPROCS). Cliques are reported in
+// nondeterministic order; emit is never called concurrently. Whole-graph
+// algorithms (BK, BKPivot) and hybrid runs with SwitchDepth > 1 fall back
+// to the sequential driver.
+func EnumerateParallel(g *Graph, opts Options, workers int, emit func(clique []int32)) (*Stats, error) {
+	return core.EnumerateParallel(g, opts, workers, emit)
+}
+
+// ListKCliques emits every k-clique of g exactly once via the edge-oriented
+// EBBkC strategy ([19]) that HBBMC's top level is built on, and returns the
+// count. The slice passed to emit is reused; emit may be nil to count only.
+func ListKCliques(g *Graph, k int, emit func(clique []int32)) (int64, error) {
+	return kclique.List(g, k, emit)
+}
+
+// CountKCliques returns the number of k-cliques of g.
+func CountKCliques(g *Graph, k int) (int64, error) { return kclique.Count(g, k) }

@@ -1,0 +1,182 @@
+package benchharness
+
+import (
+	"fmt"
+
+	"github.com/graphmining/hbbmc/internal/gen"
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// FigureConfig controls the synthetic sweeps of Figure 5. The paper sweeps
+// n ∈ {100K..10M} at ρ=20 and ρ ∈ {5..40} at n=1M over 10 random graphs per
+// point; the defaults below keep the same relative spans at laptop scale.
+type FigureConfig struct {
+	// Sizes is the n sweep for figures 5(a)/(b).
+	Sizes []int
+	// Densities is the ρ sweep for figures 5(c)/(d).
+	Densities []int
+	// FixedRho is ρ for the size sweep (paper: 20).
+	FixedRho int
+	// FixedN is n for the density sweep (paper: 1M).
+	FixedN int
+	// Seeds is the number of random graphs averaged per point (paper: 10).
+	Seeds int
+}
+
+// DefaultFigureConfig returns the laptop-scale sweep: the same 100× size
+// span and 8× density span as the paper at ~1/250 scale.
+func DefaultFigureConfig() FigureConfig {
+	return FigureConfig{
+		Sizes:     []int{1000, 2000, 5000, 10000, 20000},
+		Densities: []int{5, 10, 20, 30, 40},
+		FixedRho:  20,
+		FixedN:    5000,
+		Seeds:     3,
+	}
+}
+
+func (fc FigureConfig) normalized() FigureConfig {
+	def := DefaultFigureConfig()
+	if len(fc.Sizes) == 0 {
+		fc.Sizes = def.Sizes
+	}
+	if len(fc.Densities) == 0 {
+		fc.Densities = def.Densities
+	}
+	if fc.FixedRho == 0 {
+		fc.FixedRho = def.FixedRho
+	}
+	if fc.FixedN == 0 {
+		fc.FixedN = def.FixedN
+	}
+	if fc.Seeds <= 0 {
+		fc.Seeds = def.Seeds
+	}
+	return fc
+}
+
+// figureOptions is the algorithm panel of Figure 5.
+func figureOptions() []namedOption {
+	return []namedOption{
+		{"HBBMC++", hbbmcPP()},
+		{"RRef", rRef()},
+		{"RDegen", rDegen()},
+		{"RRcd", rRcd()},
+		{"RFac", rFac()},
+	}
+}
+
+// makeGraph builds one sweep point: ER samples G(n, nρ); BA attaches ρ
+// edges per arrival, so its edge density m/n ≈ ρ — matching the paper's use
+// of ρ = m/n for both models.
+func makeGraph(model string, n, rho int, seed int64) (*graph.Graph, error) {
+	switch model {
+	case "er":
+		return gen.ER(n, n*rho, seed), nil
+	case "ba":
+		return gen.BA(n, rho, seed), nil
+	}
+	return nil, fmt.Errorf("benchharness: unknown model %q", model)
+}
+
+// sweep runs the algorithm panel over points, averaging Seeds graphs per
+// point, and reports per-point δ and τ alongside the timings.
+func sweep(fc FigureConfig, model string, points []int, mkGraph func(p int, seed int64) (*graph.Graph, error), pointLabel string) (*Table, error) {
+	options := figureOptions()
+	t := &Table{
+		Header: []string{pointLabel, "δ", "τ"},
+	}
+	for _, o := range options {
+		t.Header = append(t.Header, o.name+"(s)")
+	}
+	for _, p := range points {
+		sums := make([]float64, len(options))
+		var deltaSum, tauSum int
+		var want int64 = -1
+		for s := 0; s < fc.Seeds; s++ {
+			g, err := mkGraph(p, int64(1000*p+s))
+			if err != nil {
+				return nil, err
+			}
+			deltaSum += order.DegeneracyOrdering(g).Value
+			tauSum += truss.Decompose(g).Tau
+			for i, o := range options {
+				c, err := run(g, o.opts, 1)
+				if err != nil {
+					return nil, fmt.Errorf("%s n=%d %s: %v", model, p, o.name, err)
+				}
+				sums[i] += c.seconds
+				if i == 0 {
+					want = c.stats.Cliques
+				} else if c.stats.Cliques != want {
+					return nil, fmt.Errorf("%s point %d: %s found %d cliques, %s found %d",
+						model, p, o.name, c.stats.Cliques, options[0].name, want)
+				}
+			}
+		}
+		row := []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.0f", float64(deltaSum)/float64(fc.Seeds)),
+			fmt.Sprintf("%.0f", float64(tauSum)/float64(fc.Seeds)),
+		}
+		for _, s := range sums {
+			row = append(row, secs(s/float64(fc.Seeds)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure5a is the ER-model scalability sweep (paper Figure 5(a)).
+func Figure5a(fc FigureConfig) (*Table, error) {
+	fc = fc.normalized()
+	t, err := sweep(fc, "er", fc.Sizes, func(n int, seed int64) (*graph.Graph, error) {
+		return makeGraph("er", n, fc.FixedRho, seed)
+	}, "n")
+	if err != nil {
+		return nil, err
+	}
+	t.Title = fmt.Sprintf("Figure 5(a): scalability on ER graphs (ρ=%d, mean of %d seeds)", fc.FixedRho, fc.Seeds)
+	return t, nil
+}
+
+// Figure5b is the BA-model scalability sweep (paper Figure 5(b)).
+func Figure5b(fc FigureConfig) (*Table, error) {
+	fc = fc.normalized()
+	t, err := sweep(fc, "ba", fc.Sizes, func(n int, seed int64) (*graph.Graph, error) {
+		return makeGraph("ba", n, fc.FixedRho, seed)
+	}, "n")
+	if err != nil {
+		return nil, err
+	}
+	t.Title = fmt.Sprintf("Figure 5(b): scalability on BA graphs (ρ=%d, mean of %d seeds)", fc.FixedRho, fc.Seeds)
+	return t, nil
+}
+
+// Figure5c is the ER-model density sweep (paper Figure 5(c)).
+func Figure5c(fc FigureConfig) (*Table, error) {
+	fc = fc.normalized()
+	t, err := sweep(fc, "er", fc.Densities, func(rho int, seed int64) (*graph.Graph, error) {
+		return makeGraph("er", fc.FixedN, rho, seed)
+	}, "ρ")
+	if err != nil {
+		return nil, err
+	}
+	t.Title = fmt.Sprintf("Figure 5(c): varying density on ER graphs (n=%d, mean of %d seeds)", fc.FixedN, fc.Seeds)
+	return t, nil
+}
+
+// Figure5d is the BA-model density sweep (paper Figure 5(d)).
+func Figure5d(fc FigureConfig) (*Table, error) {
+	fc = fc.normalized()
+	t, err := sweep(fc, "ba", fc.Densities, func(rho int, seed int64) (*graph.Graph, error) {
+		return makeGraph("ba", fc.FixedN, rho, seed)
+	}, "ρ")
+	if err != nil {
+		return nil, err
+	}
+	t.Title = fmt.Sprintf("Figure 5(d): varying density on BA graphs (n=%d, mean of %d seeds)", fc.FixedN, fc.Seeds)
+	return t, nil
+}

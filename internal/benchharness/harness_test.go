@@ -1,0 +1,220 @@
+package benchharness
+
+import (
+	"bytes"
+	"github.com/graphmining/hbbmc/internal/core"
+	"github.com/graphmining/hbbmc/internal/dataset"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg runs harness tests on the three smallest stand-ins.
+func quickCfg() Config {
+	return Config{Datasets: []string{"NA", "WE", "YO"}}
+}
+
+func parseSecs(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as seconds: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(tab.Header))
+		}
+	}
+	// WE is the τ=δ−1 stand-in: the condition column must read false.
+	for _, row := range tab.Rows {
+		if row[0] == "WE" && row[len(row)-1] != "false" {
+			t.Errorf("WE should fail the hybrid condition, row = %v", row)
+		}
+		if row[0] == "NA" && row[len(row)-1] != "true" {
+			t.Errorf("NA should satisfy the hybrid condition, row = %v", row)
+		}
+	}
+}
+
+func TestTable2RunsAndAgrees(t *testing.T) {
+	tab, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Header) != 6 {
+		t.Fatalf("unexpected shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+	// At the stand-ins' reduced scale the branch-setup cost dominates and
+	// the paper's wall-clock headline need not reproduce (see
+	// EXPERIMENTS.md); HBBMC++ must however stay within a small factor of
+	// the best baseline everywhere.
+	for _, row := range tab.Rows {
+		h := parseSecs(t, row[1])
+		best := h
+		for _, c := range row[2:] {
+			if v := parseSecs(t, c); v < best {
+				best = v
+			}
+		}
+		if h > 4*best+0.005 {
+			t.Errorf("%s: HBBMC++ %.3fs is more than 4x the best baseline %.3fs", row[0], h, best)
+		}
+	}
+}
+
+// TestHybridCallReduction asserts the mechanism behind the paper's headline
+// on a recursion-heavy dataset: the hybrid framework explores far fewer
+// branches than the vertex-oriented state of the art.
+func TestHybridCallReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recursion-heavy dataset is slow in short mode")
+	}
+	spec, _ := dataset.ByName("DG")
+	g := spec.Build()
+	_, hs, err := core.Count(g, hbbmcPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ds, err := core.Count(g, rDegen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Cliques != ds.Cliques {
+		t.Fatalf("count mismatch: %d vs %d", hs.Cliques, ds.Cliques)
+	}
+	if float64(hs.Calls) > 0.8*float64(ds.Calls) {
+		t.Errorf("hybrid should need far fewer calls: HBBMC++ %d vs RDegen %d", hs.Calls, ds.Calls)
+	}
+}
+
+func TestTable4DepthTrend(t *testing.T) {
+	tab, err := Table4(Config{Datasets: []string{"NA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	// Columns: Graph, d1 time, d1 calls, d2 time, d2 calls, d3 time, d3 calls.
+	d1 := parseSecs(t, row[1])
+	d3 := parseSecs(t, row[5])
+	if d3 < d1/2 {
+		t.Errorf("deeper edge branching should not be dramatically faster: d1=%v d3=%v", d1, d3)
+	}
+}
+
+func TestTable5RatioColumns(t *testing.T) {
+	tab, err := Table5(Config{Datasets: []string{"NA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	if len(row) != len(tab.Header) {
+		t.Fatalf("row width %d != header %d", len(row), len(tab.Header))
+	}
+	// Ratios are percentages ending in '%'.
+	for _, idx := range []int{5, 8, 11} {
+		if !strings.HasSuffix(row[idx], "%") {
+			t.Errorf("column %d should be a ratio, got %q", idx, row[idx])
+		}
+	}
+	// #Calls must not increase as t grows (ET only prunes).
+	c0 := row[2]
+	c3 := row[10]
+	if c0 == "" || c3 == "" {
+		t.Fatal("missing call counts")
+	}
+}
+
+func TestTable6Runs(t *testing.T) {
+	tab, err := Table6(Config{Datasets: []string{"NA", "WE"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Header) != 5 {
+		t.Fatalf("unexpected shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+}
+
+func TestFigureSweeps(t *testing.T) {
+	fc := FigureConfig{
+		Sizes:     []int{300, 600},
+		Densities: []int{5, 10},
+		FixedRho:  8,
+		FixedN:    400,
+		Seeds:     1,
+	}
+	for name, f := range map[string]func(FigureConfig) (*Table, error){
+		"5a": Figure5a, "5b": Figure5b, "5c": Figure5c, "5d": Figure5d,
+	} {
+		tab, err := f(fc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2", name, len(tab.Rows))
+		}
+		var buf bytes.Buffer
+		if err := tab.Fprint(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "HBBMC++") {
+			t.Errorf("%s: rendered table missing algorithm column", name)
+		}
+	}
+}
+
+func TestDegeneracyConcentratesAtFixedDensity(t *testing.T) {
+	// Deviation from the paper, recorded in EXPERIMENTS.md: for the stated
+	// G(n, m=ρn) generator, degeneracy CONCENTRATES as n grows at fixed ρ
+	// (the paper's Appendix D reports growth, which is inconsistent with
+	// that generator). Both models must stay within a narrow band here.
+	fc := FigureConfig{Sizes: []int{500, 4000}, FixedRho: 10, Seeds: 1}
+	for name, fig := range map[string]func(FigureConfig) (*Table, error){
+		"ER": Figure5a, "BA": Figure5b,
+	} {
+		tab, err := fig(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dSmall := parseSecs(t, tab.Rows[0][1])
+		dBig := parseSecs(t, tab.Rows[1][1])
+		if dBig > 2*dSmall+2 || dSmall > 2*dBig+2 {
+			t.Errorf("%s degeneracy should concentrate at fixed ρ: %v -> %v", name, dSmall, dBig)
+		}
+	}
+}
+
+func TestUnknownDatasetRejected(t *testing.T) {
+	if _, err := Table1(Config{Datasets: []string{"nope"}}); err == nil {
+		t.Error("unknown dataset must be rejected")
+	}
+}
+
+func TestFprintRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "1", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

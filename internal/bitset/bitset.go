@@ -1,0 +1,276 @@
+// Package bitset provides dense fixed-capacity bit sets used by the
+// branch-and-bound engines in internal/core.
+//
+// A Set is a plain []uint64 so that hot loops compile to word operations
+// without pointer chasing. All binary operations require operands created
+// with the same capacity; this is a deliberate contract (the enumeration
+// engines allocate every set of a subproblem from a single arena with one
+// word count) and is checked only in debug builds of the callers' tests.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bit set backed by 64-bit words.
+type Set []uint64
+
+const wordBits = 64
+
+// Words returns the number of uint64 words needed to hold n bits.
+func Words(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// New returns a zeroed Set with capacity for n bits.
+func New(n int) Set {
+	return make(Set, Words(n))
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have the same
+// word length.
+func (s Set) CopyFrom(o Set) {
+	copy(s, o)
+}
+
+// Clear zeroes every bit.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Set sets bit i.
+func (s Set) Set(i int) {
+	s[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Unset clears bit i.
+func (s Set) Unset(i int) {
+	s[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports whether bit i is set.
+func (s Set) Has(i int) bool {
+	return s[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether no bit is set.
+func (s Set) IsEmpty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AndWith replaces s with s ∩ o.
+func (s Set) AndWith(o Set) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// OrWith replaces s with s ∪ o.
+func (s Set) OrWith(o Set) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// AndNotWith replaces s with s \ o.
+func (s Set) AndNotWith(o Set) {
+	for i := range s {
+		s[i] &^= o[i]
+	}
+}
+
+// AndInto stores a ∩ b into s. All three sets must share a word length.
+func (s Set) AndInto(a, b Set) {
+	for i := range s {
+		s[i] = a[i] & b[i]
+	}
+}
+
+// AndNotInto stores a \ b into s.
+func (s Set) AndNotInto(a, b Set) {
+	for i := range s {
+		s[i] = a[i] &^ b[i]
+	}
+}
+
+// AndCount returns |s ∩ o| without materialising the intersection.
+func (s Set) AndCount(o Set) int {
+	n := 0
+	for i := range s {
+		n += bits.OnesCount64(s[i] & o[i])
+	}
+	return n
+}
+
+// AndAny reports whether s ∩ o is non-empty.
+func (s Set) AndAny(o Set) bool {
+	for i := range s {
+		if s[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects is an alias for AndAny, reading better at call sites that test
+// overlap rather than compute it.
+func (s Set) Intersects(o Set) bool { return s.AndAny(o) }
+
+// Equal reports whether s and o contain the same bits.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit of s is also set in o.
+func (s Set) SubsetOf(o Set) bool {
+	for i := range s {
+		if s[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the index of the lowest set bit, or -1 if the set is empty.
+func (s Set) First() int {
+	for i, w := range s {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAfter returns the index of the lowest set bit strictly greater than i,
+// or -1 if none exists. Pass -1 to start from the beginning.
+func (s Set) NextAfter(i int) int {
+	i++
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	if wi >= len(s) {
+		return -1
+	}
+	w := s[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s); wi++ {
+		if s[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the indices of the set bits to dst and returns it.
+func (s Set) AppendTo(dst []int32) []int32 {
+	for wi, w := range s {
+		base := wi * wordBits
+		for w != 0 {
+			dst = append(dst, int32(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Arena allocates many equally-sized Sets from large backing slabs. It keeps
+// the per-recursion-level allocations of the enumeration engines off the
+// garbage collector's radar: a branch checkpoints the arena, carves the sets
+// it needs, and releases them all at once on backtrack.
+type Arena struct {
+	words int
+	slab  []uint64
+	used  int
+}
+
+// NewArena returns an arena producing sets of the given bit capacity.
+func NewArena(bitCap int) *Arena {
+	return &Arena{words: Words(bitCap)}
+}
+
+// Reset empties the arena and switches it to a new bit capacity, keeping the
+// backing slab so repeated subproblems do not reallocate.
+func (a *Arena) Reset(bitCap int) {
+	a.words = Words(bitCap)
+	a.used = 0
+}
+
+// WordsPerSet returns the word length of the sets this arena produces.
+func (a *Arena) WordsPerSet() int { return a.words }
+
+// Mark returns a checkpoint token for Release.
+func (a *Arena) Mark() int { return a.used }
+
+// Release returns the arena to a previous checkpoint obtained from Mark.
+func (a *Arena) Release(mark int) { a.used = mark }
+
+// Get carves a zeroed Set from the arena.
+func (a *Arena) Get() Set {
+	if a.words == 0 {
+		return Set{}
+	}
+	if a.used+a.words > len(a.slab) {
+		grow := len(a.slab) * 2
+		if grow < a.used+a.words {
+			grow = a.used + a.words
+		}
+		if grow < 16*a.words {
+			grow = 16 * a.words
+		}
+		ns := make([]uint64, grow)
+		copy(ns, a.slab[:a.used])
+		a.slab = ns
+	}
+	s := Set(a.slab[a.used : a.used+a.words])
+	a.used += a.words
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

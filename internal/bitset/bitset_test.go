@@ -1,0 +1,293 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fromInts(n int, xs ...int) Set {
+	s := New(n)
+	for _, x := range xs {
+		s.Set(x)
+	}
+	return s
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {-3, 0}, {1, 1}, {64, 1}, {65, 2}, {200, 4}}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSetUnsetHas(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if s.Has(i) {
+			t.Errorf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Has(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := s.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	s.Unset(64)
+	if s.Has(64) || s.Count() != 3 {
+		t.Error("Unset(64) failed")
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	a := fromInts(100, 1, 5, 70, 99)
+	b := fromInts(100, 5, 70, 80)
+
+	and := a.Clone()
+	and.AndWith(b)
+	if got := and.AppendTo(nil); !reflect.DeepEqual(got, []int32{5, 70}) {
+		t.Errorf("And = %v", got)
+	}
+
+	or := a.Clone()
+	or.OrWith(b)
+	if got := or.Count(); got != 5 {
+		t.Errorf("|Or| = %d, want 5", got)
+	}
+
+	diff := a.Clone()
+	diff.AndNotWith(b)
+	if got := diff.AppendTo(nil); !reflect.DeepEqual(got, []int32{1, 99}) {
+		t.Errorf("AndNot = %v", got)
+	}
+
+	into := New(100)
+	into.AndInto(a, b)
+	if !into.Equal(and) {
+		t.Error("AndInto disagrees with AndWith")
+	}
+	into.AndNotInto(a, b)
+	if !into.Equal(diff) {
+		t.Error("AndNotInto disagrees with AndNotWith")
+	}
+
+	if got := a.AndCount(b); got != 2 {
+		t.Errorf("AndCount = %d, want 2", got)
+	}
+	if !a.AndAny(b) || !a.Intersects(b) {
+		t.Error("AndAny should be true")
+	}
+	c := fromInts(100, 2)
+	if a.AndAny(c) {
+		t.Error("AndAny with disjoint set should be false")
+	}
+}
+
+func TestSubsetEqualEmpty(t *testing.T) {
+	a := fromInts(70, 3, 9)
+	b := fromInts(70, 3, 9, 50)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Error("Equal wrong")
+	}
+	if a.IsEmpty() {
+		t.Error("a is not empty")
+	}
+	if !New(70).IsEmpty() {
+		t.Error("fresh set should be empty")
+	}
+	if a.Equal(New(128)) {
+		t.Error("different lengths are never equal")
+	}
+}
+
+func TestIteration(t *testing.T) {
+	s := fromInts(200, 0, 1, 63, 64, 65, 128, 199)
+	if got := s.First(); got != 0 {
+		t.Errorf("First = %d", got)
+	}
+	if got := New(10).First(); got != -1 {
+		t.Errorf("First of empty = %d", got)
+	}
+	var walked []int
+	for i := s.First(); i >= 0; i = s.NextAfter(i) {
+		walked = append(walked, i)
+	}
+	want := []int{0, 1, 63, 64, 65, 128, 199}
+	if !reflect.DeepEqual(walked, want) {
+		t.Errorf("NextAfter walk = %v, want %v", walked, want)
+	}
+	if got := s.NextAfter(199); got != -1 {
+		t.Errorf("NextAfter(last) = %d, want -1", got)
+	}
+	if got := s.NextAfter(-5); got != 0 {
+		t.Errorf("NextAfter(-5) = %d, want 0", got)
+	}
+
+	var each []int
+	s.ForEach(func(i int) { each = append(each, i) })
+	if !reflect.DeepEqual(each, want) {
+		t.Errorf("ForEach = %v, want %v", each, want)
+	}
+}
+
+func TestCopyFromAndClear(t *testing.T) {
+	a := fromInts(64, 1, 2, 3)
+	b := New(64)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Error("CopyFrom failed")
+	}
+	b.Clear()
+	if !b.IsEmpty() || a.IsEmpty() {
+		t.Error("Clear should only affect the receiver")
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(100)
+	if a.WordsPerSet() != 2 {
+		t.Fatalf("WordsPerSet = %d, want 2", a.WordsPerSet())
+	}
+	mark := a.Mark()
+	s1 := a.Get()
+	s1.Set(5)
+	s2 := a.Get()
+	if s2.Has(5) {
+		t.Error("arena sets should be independent")
+	}
+	s2.Set(99)
+	a.Release(mark)
+	s3 := a.Get()
+	if !s3.IsEmpty() {
+		t.Error("reused arena set not zeroed")
+	}
+	// Force slab growth.
+	for i := 0; i < 100; i++ {
+		s := a.Get()
+		s.Set(i % 100)
+	}
+	if s3.Has(1) && s3.Has(2) && s3.Has(3) && s3.Has(4) {
+		// s3 was recycled; its contents are unspecified after more Gets, so
+		// no assertion here — this just documents the aliasing contract.
+		_ = s3
+	}
+}
+
+func TestArenaZeroCapacity(t *testing.T) {
+	a := NewArena(0)
+	s := a.Get()
+	if len(s) != 0 || s.Count() != 0 {
+		t.Error("zero-capacity arena should produce empty sets")
+	}
+}
+
+// Property tests: set algebra laws against a reference map implementation.
+
+func refOps(n int, xs, ys []int) (and, or, diff []int32) {
+	inX := map[int]bool{}
+	inY := map[int]bool{}
+	for _, x := range xs {
+		inX[x%n] = true
+	}
+	for _, y := range ys {
+		inY[y%n] = true
+	}
+	for i := 0; i < n; i++ {
+		if inX[i] && inY[i] {
+			and = append(and, int32(i))
+		}
+		if inX[i] || inY[i] {
+			or = append(or, int32(i))
+		}
+		if inX[i] && !inY[i] {
+			diff = append(diff, int32(i))
+		}
+	}
+	return
+}
+
+func TestQuickAlgebra(t *testing.T) {
+	const n = 150
+	f := func(xs, ys []uint16) bool {
+		a, b := New(n), New(n)
+		xi := make([]int, len(xs))
+		yi := make([]int, len(ys))
+		for i, x := range xs {
+			xi[i] = int(x)
+			a.Set(int(x) % n)
+		}
+		for i, y := range ys {
+			yi[i] = int(y)
+			b.Set(int(y) % n)
+		}
+		wantAnd, wantOr, wantDiff := refOps(n, xi, yi)
+
+		and := a.Clone()
+		and.AndWith(b)
+		or := a.Clone()
+		or.OrWith(b)
+		diff := a.Clone()
+		diff.AndNotWith(b)
+
+		gotAnd := and.AppendTo(nil)
+		gotOr := or.AppendTo(nil)
+		gotDiff := diff.AppendTo(nil)
+		return sliceEq(gotAnd, wantAnd) && sliceEq(gotOr, wantOr) && sliceEq(gotDiff, wantDiff) &&
+			a.AndCount(b) == len(wantAnd) &&
+			and.SubsetOf(a) && and.SubsetOf(b) && a.SubsetOf(or) && diff.SubsetOf(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sliceEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	const n = 130
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		a, b, universe := New(n), New(n), New(n)
+		for i := 0; i < n; i++ {
+			universe.Set(i)
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		// U \ (a ∪ b) == (U \ a) ∩ (U \ b)
+		or := a.Clone()
+		or.OrWith(b)
+		lhs := universe.Clone()
+		lhs.AndNotWith(or)
+		na := universe.Clone()
+		na.AndNotWith(a)
+		nb := universe.Clone()
+		nb.AndNotWith(b)
+		rhs := New(n)
+		rhs.AndInto(na, nb)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("De Morgan violated at iter %d", iter)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/reduce"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// Enumerate runs the configured algorithm over g and calls emit once per
+// maximal clique with the clique's vertex ids (ascendingly unordered; the
+// slice is reused between calls — copy it to retain it). emit may be nil to
+// count only. Returns the run's statistics.
+func Enumerate(g *graph.Graph, opts Options, emit func([]int32)) (*Stats, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	prep := time.Now()
+
+	var red *reduce.Result
+	if opts.GR {
+		red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
+	} else {
+		red = reduce.Identity(g)
+	}
+	stats.ReducedVertices = red.NumRemoved
+	stats.ReductionCliques = int64(len(red.Cliques))
+	for _, c := range red.Cliques {
+		stats.Cliques++
+		if len(c) > stats.MaxCliqueSize {
+			stats.MaxCliqueSize = len(c)
+		}
+		if emit != nil {
+			emit(c)
+		}
+	}
+
+	res := red.Residual
+	e := newEngine(res, red, opts, stats, emit)
+
+	switch opts.Algorithm {
+	case BK:
+		e.inner = innerPlain
+	case BKPivot, BKDegen, BKDegree:
+		e.inner = InnerPivot
+	case BKRef:
+		e.inner = InnerRef
+	case BKRcd:
+		e.inner = InnerRcd
+	case BKFac:
+		e.inner = InnerFac
+	case HBBMC:
+		e.inner = opts.Inner
+		e.switchDepth = opts.SwitchDepth
+	case EBBMC:
+		e.inner = InnerPivot // unused: the recursion stays edge-oriented
+		e.switchDepth = math.MaxInt32
+	}
+
+	switch opts.Algorithm {
+	case BK, BKPivot:
+		if res.NumVertices() > opts.MaxWholeGraphVertices {
+			return nil, fmt.Errorf("core: %v runs on a single whole-graph branch and is limited to %d vertices (graph has %d after reduction); use an ordered algorithm such as BKDegen or HBBMC",
+				opts.Algorithm, opts.MaxWholeGraphVertices, res.NumVertices())
+		}
+		stats.OrderingTime = time.Since(prep)
+		enum := time.Now()
+		e.runWholeGraph()
+		stats.EnumTime = time.Since(enum)
+	case BKRef, BKDegen, BKRcd, BKFac:
+		d := order.DegeneracyOrdering(res)
+		stats.Delta = d.Value
+		stats.OrderingTime = time.Since(prep)
+		enum := time.Now()
+		e.runVertexOrdered(d.Order, d.Pos)
+		stats.EnumTime = time.Since(enum)
+	case BKDegree:
+		ord, pos := order.DegreeOrdering(res)
+		stats.HIndex = order.HIndex(res)
+		stats.OrderingTime = time.Since(prep)
+		enum := time.Now()
+		e.runVertexOrdered(ord, pos)
+		stats.EnumTime = time.Since(enum)
+	case EBBMC, HBBMC:
+		switch opts.EdgeOrder {
+		case EdgeOrderTruss:
+			dec := truss.Decompose(res)
+			stats.Tau = dec.Tau
+			e.eo = dec.EdgeOrder
+			e.inc = dec.Inc
+		case EdgeOrderDegeneracy:
+			d := order.DegeneracyOrdering(res)
+			stats.Delta = d.Value
+			e.eo = truss.DegeneracyEdgeOrder(res, d.Pos)
+			e.inc = truss.BuildIncidence(res)
+		case EdgeOrderMinDegree:
+			e.eo = truss.MinDegreeEdgeOrder(res)
+			e.inc = truss.BuildIncidence(res)
+		}
+		stats.OrderingTime = time.Since(prep)
+		enum := time.Now()
+		e.runEdgeOrdered()
+		stats.EnumTime = time.Since(enum)
+	}
+	return stats, nil
+}
+
+// Count enumerates without reporting cliques and returns their number.
+func Count(g *graph.Graph, opts Options) (int64, *Stats, error) {
+	stats, err := Enumerate(g, opts, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return stats.Cliques, stats, nil
+}
+
+// Collect returns all maximal cliques as freshly allocated slices. Intended
+// for tests and small graphs; production callers should stream through
+// Enumerate's callback.
+func Collect(g *graph.Graph, opts Options) ([][]int32, *Stats, error) {
+	var out [][]int32
+	stats, err := Enumerate(g, opts, func(c []int32) {
+		out = append(out, append([]int32(nil), c...))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// runWholeGraph evaluates the entire residual graph as a single branch
+// (S=∅, C=V, X=∅) — the shape of the original BK and BK_Pivot algorithms.
+func (e *engine) runWholeGraph() {
+	n := e.g.NumVertices()
+	if n == 0 {
+		return
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	e.setUniverse(all, -1, n)
+	C := e.setArena.Get()
+	for i := 0; i < n; i++ {
+		C.Set(i)
+	}
+	X := e.setArena.Get()
+	e.S = e.S[:0]
+	e.stats.TopBranches++
+	e.vertexRec(nil, C, X)
+	e.clearUniverse()
+}
+
+// runVertexOrdered performs the ordered top-level split (Eq. 1 with the
+// given ordering): each vertex v branches with C = later neighbors and
+// X = earlier neighbors, the universe being N(v).
+func (e *engine) runVertexOrdered(ord, pos []int32) {
+	for _, v := range ord {
+		nbrs := e.g.Neighbors(v)
+		e.setUniverse(nbrs, -1, len(nbrs))
+		C := e.setArena.Get()
+		X := e.setArena.Get()
+		for j, w := range nbrs {
+			if pos[w] > pos[v] {
+				C.Set(j)
+			} else {
+				X.Set(j)
+			}
+		}
+		e.S = append(e.S[:0], v)
+		e.stats.TopBranches++
+		e.vertexRec(nil, C, X)
+		e.clearUniverse()
+	}
+}
+
+// runEdgeOrdered performs the edge-oriented top-level split of EBBMC/HBBMC
+// (Algorithms 3 and 4): one branch per edge in edge-order, candidates being
+// the common neighbors whose triangle edges both rank later. The branch
+// universes come from the precomputed triangle incidence, so no adjacency
+// merging happens here; tiny branches (at most two candidates, empty
+// exclusion side) are resolved inline without materialising a universe.
+func (e *engine) runEdgeOrdered() {
+	for _, eid := range e.eo.Order {
+		e.runEdgeBranch(eid)
+	}
+	// Isolated vertices are covered by no edge branch (Eq. 3 at the initial
+	// branch): each is a maximal 1-clique.
+	for v := int32(0); v < int32(e.g.NumVertices()); v++ {
+		if e.g.Degree(v) == 0 {
+			e.S = append(e.S[:0], v)
+			e.emit(nil)
+		}
+	}
+}
+
+// runEdgeBranch evaluates the top-level branch of one edge: candidates are
+// the common neighbors whose triangle edges both rank later (Algorithms 3
+// and 4). The branch universe comes from the precomputed triangle
+// incidence, so no adjacency merging happens here; tiny branches (at most
+// two common neighbors) are resolved inline without materialising a
+// universe.
+func (e *engine) runEdgeBranch(eid int32) {
+	g := e.g
+	a, b := g.EdgeEndpoints(eid)
+	r := e.eo.Rank[eid]
+	e.stats.TopBranches++
+	e.S = append(e.S[:0], a, b)
+	if e.inc.Count(eid) == 0 {
+		// No triangles through the edge: {a,b} is maximal.
+		e.emit(nil)
+		return
+	}
+	common := e.cnBuf[:0]
+	inC := 0
+	lo, hi := e.inc.Range(eid)
+	for t := lo; t < hi; t++ {
+		cn := commonNeighbor{w: e.inc.Third(t), ea: e.inc.CoSrc(t), eb: e.inc.CoDst(t)}
+		cn.cand = e.eo.Rank[cn.ea] > r && e.eo.Rank[cn.eb] > r
+		if cn.cand {
+			inC++
+		}
+		common = append(common, cn)
+	}
+	e.cnBuf = common
+	if inC == 0 {
+		// Every common neighbor blocks maximality and no candidate remains:
+		// the branch cannot produce any clique. Skipping it avoids
+		// materialising a universe for the two low-rank sides of every
+		// triangle.
+		return
+	}
+	if e.switchDepth <= 1 && !ablateTinyBranch && e.resolveTinyBranch(common, inC, r) {
+		return
+	}
+	// Candidates first. sideBuf keeps, per member, the cheaper of its two
+	// triangle side edges; rows are then filled from the incidence lists of
+	// those side edges instead of global adjacency scans. Exclusion members
+	// get rows too when the branch is recursion-heavy (they restore full
+	// Tomita pivot quality); on branch-setup-bound graphs the candidate rows
+	// alone are cheaper and sufficient.
+	e.listBuf = e.listBuf[:0]
+	e.sideBuf = e.sideBuf[:0]
+	cheapSide := func(cn commonNeighbor) int32 {
+		if e.inc.Count(cn.eb) < e.inc.Count(cn.ea) {
+			return cn.eb
+		}
+		return cn.ea
+	}
+	for _, cn := range common {
+		if cn.cand {
+			e.listBuf = append(e.listBuf, cn.w)
+			e.sideBuf = append(e.sideBuf, cheapSide(cn))
+		}
+	}
+	rowCount := inC
+	if withXRows := inC >= 12 && 4*inC >= len(common); withXRows {
+		rowCount = len(common)
+	}
+	for _, cn := range common {
+		if !cn.cand {
+			e.listBuf = append(e.listBuf, cn.w)
+			if rowCount > inC {
+				e.sideBuf = append(e.sideBuf, cheapSide(cn))
+			}
+		}
+	}
+	e.installUniverse(e.listBuf, r, rowCount)
+	e.fillRowsFromIncidence(r, rowCount)
+	C := e.setArena.Get()
+	X := e.setArena.Get()
+	for j := range common {
+		if j < inC {
+			C.Set(j)
+		} else {
+			X.Set(j)
+		}
+	}
+	if e.switchDepth <= 1 {
+		// HBBMC default: one edge level, then the vertex phase with the
+		// precomputed masked adjacency (mask threshold = this edge). When no
+		// candidate edge is masked — the common case under the truss
+		// ordering — the masked and full adjacencies agree on the candidate
+		// region and agree hereditarily as C shrinks, so the whole branch
+		// can run the cheaper unmasked recursion.
+		if !ablateMaskFree && e.maskFreeCandidates(inC) {
+			e.vertexRec(nil, C, X)
+		} else {
+			e.vertexRec(e.adjH, C, X)
+		}
+	} else {
+		e.edgeRec(C, X, r, 1)
+	}
+	e.clearUniverse()
+}
+
+// resolveTinyBranch closes top-level branches with at most two common
+// neighbors directly; they are by far the most frequent case on sparse
+// graphs and need no universe. Returns false when the general machinery
+// must take over. e.S is the branch's {a,b}.
+func (e *engine) resolveTinyBranch(common []commonNeighbor, inC int, r int32) bool {
+	if len(common) > 2 {
+		return false
+	}
+	if len(common) == 1 {
+		// Single candidate (inC == 1 here — inC == 0 was handled earlier):
+		// S ∪ {w} has no possible extension or blocker.
+		e.S = append(e.S, common[0].w)
+		e.emit(nil)
+		e.S = e.S[:len(e.S)-1]
+		return true
+	}
+	w1, w2 := common[0], common[1]
+	we := e.g.EdgeID(w1.w, w2.w)
+	switch {
+	case inC == 2:
+		if we >= 0 && e.eo.Rank[we] > r {
+			// Candidate edge present: S ∪ {w1,w2} is the unique maximal
+			// clique of the branch.
+			e.S = append(e.S, w1.w, w2.w)
+			e.emit(nil)
+			e.S = e.S[:len(e.S)-2]
+		} else if we < 0 {
+			// Independent candidates: each extends S maximally.
+			for _, w := range []int32{w1.w, w2.w} {
+				e.S = append(e.S, w)
+				e.emit(nil)
+				e.S = e.S[:len(e.S)-1]
+			}
+		}
+		// Masked candidate edge (rank ≤ r): both extensions are dominated
+		// in G and the containing cliques belong to the earlier branch.
+	default: // inC == 1: one candidate, one exclusion vertex
+		cand, excl := w1, w2
+		if !cand.cand {
+			cand, excl = w2, w1
+		}
+		if we < 0 {
+			// The exclusion vertex is not adjacent to the candidate, so it
+			// does not block S ∪ {cand}.
+			e.S = append(e.S, cand.w)
+			e.emit(nil)
+			e.S = e.S[:len(e.S)-1]
+		}
+		_ = excl
+	}
+	return true
+}
+
+// commonNeighbor is a common neighbor w of an edge (a,b) along with the
+// edge ids of (a,w) and (b,w) and its candidate-vs-exclusion classification.
+type commonNeighbor struct {
+	w      int32
+	ea, eb int32
+	cand   bool
+}

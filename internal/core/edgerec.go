@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/graphmining/hbbmc/internal/bitset"
+)
+
+// localEdge is an edge of the branch-local candidate graph, carrying its
+// global edge-order rank.
+type localEdge struct {
+	a, b int32
+	rank int32
+}
+
+// edgeRec is the edge-oriented BK recursion (Eqs. 2 and 3 of the paper).
+// State: the implicit partial clique e.S, candidate vertices C, exclusion
+// vertices X, and maxRank — the rank of the last branched edge on the path.
+// The branch's candidate graph consists of the edges inside C whose rank
+// exceeds maxRank (the edge-set exclusion of Eq. 2); candidates without such
+// an edge are the zero-degree vertices of Eq. 3.
+//
+// depth counts edge-branching levels consumed so far; at e.switchDepth the
+// recursion hands over to the vertex-oriented phase with a freshly built
+// masked adjacency.
+func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
+	e.stats.Calls++
+	e.stats.EdgeCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	k := len(e.verts)
+	mark := e.setArena.Mark()
+	tmp := e.setArena.Get()
+
+	// Collect the candidate-graph edges: pairs inside C with rank > maxRank.
+	var edges []localEdge
+	hDeg := make([]int32, k)
+	cSize, minG := 0, int(^uint(0)>>1)
+	e.ensureCnt()
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		cSize++
+		cnt := e.adjG[i].AndCount(C)
+		e.cntBuf[i] = int32(cnt)
+		if cnt < minG {
+			minG = cnt
+		}
+		tmp.AndInto(C, e.adjG[i])
+		for j := tmp.NextAfter(i); j >= 0; j = tmp.NextAfter(j) {
+			if r := e.rankOfLocal(i, j); r > maxRank {
+				edges = append(edges, localEdge{int32(i), int32(j), r})
+				hDeg[i]++
+				hDeg[j]++
+			}
+		}
+	}
+
+	// Early termination: the candidate graph is dense enough and carries no
+	// masked edge iff every candidate's G-degree equals its H-degree.
+	if e.opts.ET > 0 && minG >= cSize-e.opts.ET {
+		e.stats.PlexBranches++
+		if X.IsEmpty() && edgeDegreesMatch(e, C, hDeg) {
+			before := e.stats.Cliques + e.stats.SuppressedLeaves
+			if e.emitPlexDirect(C, cSize) {
+				e.stats.EarlyTerminations++
+				e.stats.ETCliques += (e.stats.Cliques + e.stats.SuppressedLeaves) - before
+				e.setArena.Release(mark)
+				return
+			}
+		}
+	}
+
+	sort.Slice(edges, func(i, j int) bool { return edges[i].rank < edges[j].rank })
+
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	for _, f := range edges {
+		x, y := int(f.a), int(f.b)
+		// Candidates of the sub-branch: common neighbors whose edges to
+		// both x and y rank after f (Eq. 2); common neighbors failing the
+		// rank test still block maximality and join X.
+		tmp.AndInto(C, e.adjG[x])
+		tmp.AndWith(e.adjG[y])
+		childC.Clear()
+		childX.AndInto(X, e.adjG[x])
+		childX.AndWith(e.adjG[y])
+		for w := tmp.First(); w >= 0; w = tmp.NextAfter(w) {
+			if e.rankOfLocal(x, w) > f.rank && e.rankOfLocal(y, w) > f.rank {
+				childC.Set(w)
+			} else {
+				childX.Set(w)
+			}
+		}
+		e.S = append(e.S, e.verts[x], e.verts[y])
+		if depth+1 >= e.switchDepth {
+			e.switchToVertex(childC, childX, f.rank)
+		} else {
+			e.edgeRec(childC, childX, f.rank, depth+1)
+		}
+		e.S = e.S[:len(e.S)-2]
+	}
+
+	// Zero-degree candidates (Eq. 3): S ∪ {v} is maximal iff v is isolated
+	// in G[C ∪ X] — any neighbor either extends the clique (so S ∪ {v} is
+	// not maximal) or was covered by an earlier edge branch.
+	for v := C.First(); v >= 0; v = C.NextAfter(v) {
+		if hDeg[v] != 0 {
+			continue
+		}
+		if e.adjG[v].AndAny(X) || e.adjG[v].AndCount(C) > 0 {
+			continue
+		}
+		e.S = append(e.S, e.verts[v])
+		e.emit(nil)
+		e.S = e.S[:len(e.S)-1]
+	}
+	e.setArena.Release(mark)
+}
+
+// edgeDegreesMatch reports whether every candidate's full-graph degree in C
+// equals its candidate-graph degree, i.e. no edge inside C is masked.
+func edgeDegreesMatch(e *engine, C bitset.Set, hDeg []int32) bool {
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		if int(hDeg[i]) != e.adjG[i].AndCount(C) {
+			return false
+		}
+	}
+	return true
+}
+
+// switchToVertex transitions a hybrid branch from edge-oriented to
+// vertex-oriented branching: the candidate graph's masked adjacency (edges
+// with rank > maxRank) is materialised for the current candidates and the
+// configured inner recursion takes over.
+func (e *engine) switchToVertex(C, X bitset.Set, maxRank int32) {
+	// Fast path: at the top switch (depth 1) the universe-wide masked rows
+	// built by setUniverse already encode rank > baseRank; they are only
+	// valid when maxRank equals that base rank, which the driver guarantees
+	// by calling vertexRec directly. Reaching here means a deeper switch, so
+	// build rows for the current candidates.
+	mark := e.setArena.Mark()
+	rows := make([]bitset.Set, len(e.verts))
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		row := e.setArena.Get()
+		rows[i] = row
+		for j := C.First(); j >= 0; j = C.NextAfter(j) {
+			if j == i || !e.adjG[i].Has(j) {
+				continue
+			}
+			if e.rankOfLocal(i, j) > maxRank {
+				row.Set(j)
+			}
+		}
+	}
+	e.vertexRec(rows, C, X)
+	e.setArena.Release(mark)
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"github.com/graphmining/hbbmc/internal/bitset"
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/plex"
+	"github.com/graphmining/hbbmc/internal/reduce"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// innerPlain is the internal sentinel for the pivot-less BK recursion.
+const innerPlain InnerAlgorithm = -1
+
+// engine holds the state of one enumeration run over the residual graph.
+// Each top-level branch installs a local universe (a relabelled vertex set
+// with bitset adjacency rows); the per-algorithm recursions then operate on
+// C/X bitsets over that universe.
+type engine struct {
+	g           *graph.Graph // residual graph
+	red         *reduce.Result
+	opts        Options
+	stats       *Stats
+	emitFn      func([]int32)
+	inner       InnerAlgorithm
+	switchDepth int
+
+	// Local universe of the current top-level branch.
+	verts   []int32      // local id -> residual id
+	localID []int32      // residual id -> local id, -1 when absent
+	adjG    []bitset.Set // full residual adjacency within the universe
+	adjH    []bitset.Set // masked adjacency (edge rank > branch base rank)
+	masked  bool
+
+	rowArena *bitset.Arena // adjacency rows; reset per top-level branch
+	setArena *bitset.Arena // recursion sets; mark/release per node
+
+	S       []int32          // current partial clique (residual ids)
+	resBuf  []int32          // residual-id assembly buffer for emits
+	emitBuf []int32          // original-id buffer handed to emitFn
+	listBuf []int32          // scratch for materialised candidate lists
+	sideBuf []int32          // per-candidate side-edge ids for incidence row fills
+	cnBuf   []commonNeighbor // per-branch common-neighbor scratch
+
+	// Early-termination scratch (see et.go).
+	cntBuf       []int32 // per-local-id candidate counts from the caller's scan
+	plexScratch  plex.Scratch
+	compA, compB []int32
+	compVisited  []bool
+	fBuf, nonF   []int32
+	walkBuf      []int32
+
+	// Edge-ordering context for EBBMC/HBBMC.
+	eo  truss.EdgeOrder
+	inc *truss.Incidence
+}
+
+func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats, emit func([]int32)) *engine {
+	e := &engine{
+		g:        res,
+		red:      red,
+		opts:     opts,
+		stats:    stats,
+		emitFn:   emit,
+		localID:  make([]int32, res.NumVertices()),
+		rowArena: bitset.NewArena(0),
+		setArena: bitset.NewArena(0),
+	}
+	for i := range e.localID {
+		e.localID[i] = -1
+	}
+	return e
+}
+
+// setUniverse installs vs (residual ids) as the branch-local universe and
+// builds adjacency rows for its first rowCount members. When baseRank >= 0
+// a masked adjacency adjH is built alongside, containing only edges whose
+// rank exceeds baseRank.
+//
+// The edge-oriented top level orders each universe candidates-first and
+// passes rowCount = |C|: exclusion vertices need no rows of their own (every
+// refinement reads candidate rows, and the X-domination checks fold
+// candidate rows over X), which skips the dominant share of the build cost
+// on triangle-dense graphs.
+//
+// Rows are built by whichever of two strategies is cheaper for this branch:
+// scanning each member's full adjacency (good when members have small
+// degrees) or probing member pairs with binary searches (good for small
+// universes around high-degree hubs).
+func (e *engine) setUniverse(vs []int32, baseRank int32, rowCount int) {
+	degSum := e.installUniverse(vs, baseRank, rowCount)
+	// ~8 comparisons per binary-search probe is the break-even estimate.
+	if rowCount*len(vs)*8 < degSum {
+		e.fillRowsPairwise(baseRank, rowCount)
+	} else {
+		e.fillRowsByScan(baseRank, rowCount)
+	}
+}
+
+// installUniverse performs the bookkeeping shared by all row-filling
+// strategies: local-id mapping, arena resets and zeroed rows for the first
+// rowCount members. It returns the degree sum of the row-bearing members.
+func (e *engine) installUniverse(vs []int32, baseRank int32, rowCount int) int {
+	k := len(vs)
+	e.verts = append(e.verts[:0], vs...)
+	e.masked = baseRank >= 0
+	e.rowArena.Reset(k)
+	e.setArena.Reset(k)
+	if cap(e.adjG) < k {
+		e.adjG = make([]bitset.Set, k)
+		e.adjH = make([]bitset.Set, k)
+	}
+	e.adjG = e.adjG[:k]
+	e.adjH = e.adjH[:k]
+	degSum := 0
+	for i, v := range vs {
+		e.localID[v] = int32(i)
+		if i < rowCount {
+			degSum += e.g.Degree(v)
+		}
+	}
+	for i := range vs {
+		if i < rowCount {
+			e.adjG[i] = e.rowArena.Get()
+		} else {
+			e.adjG[i] = nil
+		}
+		if e.masked && i < rowCount {
+			e.adjH[i] = e.rowArena.Get()
+		} else {
+			e.adjH[i] = nil
+		}
+	}
+	return degSum
+}
+
+// fillRowsFromIncidence builds the candidate rows of an edge branch from
+// the triangle incidence lists of each candidate's side edge: for side edge
+// (s,w) every triangle (s,w,x) names a neighbor x of w inside N(s) ⊇
+// universe, together with the edge id (w,x) that carries the mask rank.
+// The work per candidate is its side-edge support — never more than its
+// degree, and usually far less on hub-heavy graphs.
+func (e *engine) fillRowsFromIncidence(baseRank int32, rowCount int) {
+	for i := 0; i < rowCount; i++ {
+		w := e.verts[i]
+		rowG := e.adjG[i]
+		rowH := e.adjH[i]
+		se := e.sideBuf[i]
+		_, dst := e.g.EdgeEndpoints(se)
+		wIsDst := w == dst
+		lo, hi := e.inc.Range(se)
+		for t := lo; t < hi; t++ {
+			j := e.localID[e.inc.Third(t)]
+			if j < 0 {
+				continue
+			}
+			rowG.Set(int(j))
+			var wx int32
+			if wIsDst {
+				wx = e.inc.CoDst(t)
+			} else {
+				wx = e.inc.CoSrc(t)
+			}
+			if e.eo.Rank[wx] > baseRank {
+				rowH.Set(int(j))
+			}
+		}
+	}
+}
+
+func (e *engine) fillRowsByScan(baseRank int32, rowCount int) {
+	for i := 0; i < rowCount; i++ {
+		v := e.verts[i]
+		rowG := e.adjG[i]
+		rowH := e.adjH[i]
+		nbrs := e.g.Neighbors(v)
+		eids := e.g.IncidentEdgeIDs(v)
+		for t, w := range nbrs {
+			j := e.localID[w]
+			if j < 0 {
+				continue
+			}
+			rowG.Set(int(j))
+			if e.masked && e.eo.Rank[eids[t]] > baseRank {
+				rowH.Set(int(j))
+			}
+		}
+	}
+}
+
+func (e *engine) fillRowsPairwise(baseRank int32, rowCount int) {
+	k := len(e.verts)
+	for i := 0; i < rowCount; i++ {
+		for j := i + 1; j < k; j++ {
+			eid := e.g.EdgeID(e.verts[i], e.verts[j])
+			if eid < 0 {
+				continue
+			}
+			e.adjG[i].Set(j)
+			if j < rowCount {
+				e.adjG[j].Set(i)
+			}
+			if e.masked && e.eo.Rank[eid] > baseRank {
+				e.adjH[i].Set(j)
+				if j < rowCount {
+					e.adjH[j].Set(i)
+				}
+			}
+		}
+	}
+}
+
+// clearUniverse removes the local-id mapping of the current universe.
+func (e *engine) clearUniverse() {
+	for _, v := range e.verts {
+		e.localID[v] = -1
+	}
+}
+
+// maskFreeCandidates reports whether no candidate-candidate edge of the
+// current universe is masked. The candidates occupy local ids [0, inC), so
+// the check compares each candidate's full and masked rows on that prefix.
+func (e *engine) maskFreeCandidates(inC int) bool {
+	fullWords := inC / 64
+	restBits := uint(inC % 64)
+	for i := 0; i < inC; i++ {
+		rowG, rowH := e.adjG[i], e.adjH[i]
+		for w := 0; w < fullWords; w++ {
+			if rowG[w] != rowH[w] {
+				return false
+			}
+		}
+		if restBits != 0 {
+			mask := (uint64(1) << restBits) - 1
+			if (rowG[fullWords]^rowH[fullWords])&mask != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rankOfLocal returns the edge-order rank of the residual edge between two
+// local universe vertices, or -1 when the edge does not exist.
+func (e *engine) rankOfLocal(i, j int) int32 {
+	eid := e.g.EdgeID(e.verts[i], e.verts[j])
+	if eid < 0 {
+		return -1
+	}
+	return e.eo.Rank[eid]
+}
+
+// emit reports the clique formed by the current partial clique S plus the
+// given local universe vertices. It applies the removed-dominator filter of
+// the graph reduction, maps residual ids back to original ids and invokes
+// the user callback.
+func (e *engine) emit(extraLocal []int32) {
+	e.resBuf = append(e.resBuf[:0], e.S...)
+	for _, li := range extraLocal {
+		e.resBuf = append(e.resBuf, e.verts[li])
+	}
+	if e.red.NumRemoved > 0 && e.red.HasRemovedDominator(e.resBuf) {
+		e.stats.SuppressedLeaves++
+		return
+	}
+	e.stats.Cliques++
+	if len(e.resBuf) > e.stats.MaxCliqueSize {
+		e.stats.MaxCliqueSize = len(e.resBuf)
+	}
+	if e.emitFn != nil {
+		e.emitBuf = e.emitBuf[:0]
+		for _, r := range e.resBuf {
+			e.emitBuf = append(e.emitBuf, e.red.OrigID[r])
+		}
+		e.emitFn(e.emitBuf)
+	}
+}
+
+// emitSet is emit for a bitset of local vertices.
+func (e *engine) emitSet(set bitset.Set) {
+	e.listBuf = set.AppendTo(e.listBuf[:0])
+	e.emit(e.listBuf)
+}
+
+// tryEarlyTerminate applies the early-termination construction of Section
+// IV. The caller supplies the candidate-set size and the minimum full-graph
+// degree inside C, both computed during its pivot scan. adjH is the masked
+// adjacency of the surrounding recursion (nil when unmasked).
+//
+// Returns true when the branch was closed (all its maximal cliques have been
+// emitted).
+func (e *engine) tryEarlyTerminate(adjH []bitset.Set, C, X bitset.Set, cSize, minDeg int) bool {
+	t := e.opts.ET
+	if t == 0 || cSize == 0 || minDeg < cSize-t {
+		return false
+	}
+	// b of Table V: the candidate graph is a t-plex.
+	e.stats.PlexBranches++
+	if !X.IsEmpty() {
+		return false
+	}
+	if adjH != nil {
+		// A masked candidate edge would make cliques of G[C] differ from
+		// cliques of the branch's candidate graph; the construction only
+		// applies when the two adjacencies agree on C.
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			if e.adjG[i].AndCount(C) != adjH[i].AndCount(C) {
+				return false
+			}
+		}
+	}
+	before := e.stats.Cliques + e.stats.SuppressedLeaves
+	if !e.emitPlexDirect(C, cSize) {
+		// Defensive: unreachable when the t ≤ 3 plex check passed.
+		return false
+	}
+	e.stats.EarlyTerminations++
+	e.stats.ETCliques += (e.stats.Cliques + e.stats.SuppressedLeaves) - before
+	return true
+}
+
+// vertexRec dispatches to the configured vertex-oriented recursion.
+func (e *engine) vertexRec(adjH []bitset.Set, C, X bitset.Set) {
+	switch e.inner {
+	case innerPlain:
+		e.plainRec(adjH, C, X)
+	case InnerPivot:
+		e.pivotRec(adjH, C, X)
+	case InnerRef:
+		e.refRec(adjH, C, X)
+	case InnerRcd:
+		e.rcdRec(adjH, C, X)
+	case InnerFac:
+		e.facRec(adjH, C, X)
+	}
+}
+
+// deriveChild computes the sub-branch sets for branching at local vertex v:
+// childC gets the candidates that remain candidates (masked adjacency when
+// in a hybrid branch) and childX the exclusion vertices, including
+// candidates reachable from v only through a masked edge — those cannot
+// join the clique but still block maximality.
+func (e *engine) deriveChild(adjH []bitset.Set, C, X bitset.Set, v int, childC, childX, tmp bitset.Set) {
+	if adjH == nil {
+		childC.AndInto(C, e.adjG[v])
+		childX.AndInto(X, e.adjG[v])
+		return
+	}
+	childC.AndInto(C, adjH[v])
+	childX.AndInto(X, e.adjG[v])
+	tmp.AndInto(C, e.adjG[v])
+	tmp.AndNotWith(adjH[v])
+	childX.OrWith(tmp)
+}

@@ -1,0 +1,107 @@
+package core
+
+import "github.com/graphmining/hbbmc/internal/bitset"
+
+// This file implements the early-termination construction (Section IV of
+// the paper) on the engine's bitset universes: when a branch's candidate
+// graph is a t-plex (t ≤ 3) with an empty exclusion graph — and, inside
+// hybrid branches, no masked candidate edge — all its maximal cliques are
+// built directly from the complement structure instead of branching.
+//
+// The complement of the candidate graph is decomposed with word arithmetic
+// (a vertex's complement neighbors are C &^ N(v)), and the streaming
+// emitter in internal/plex walks the F × paths × cycles product without
+// allocating.
+
+// emitPlexDirect decomposes the complement of G[C] (C must be a t-plex,
+// t ≤ 3) and emits S ∪ each maximal clique. cSize is |C|. It returns false
+// without emitting anything when some vertex has more than two complement
+// neighbors — impossible when the caller's t-plex check passed, but cheap
+// to guard.
+func (e *engine) emitPlexDirect(C bitset.Set, cSize int) bool {
+	k := len(e.verts)
+	if cap(e.compA) < k {
+		e.compA = make([]int32, k)
+		e.compB = make([]int32, k)
+		e.compVisited = make([]bool, k)
+	}
+	e.compA = e.compA[:k]
+	e.compB = e.compB[:k]
+	e.compVisited = e.compVisited[:k]
+
+	mark := e.setArena.Mark()
+	tmp := e.setArena.Get()
+
+	// Every caller has just filled cntBuf for this C (see ensureCnt sites).
+	e.fBuf = e.fBuf[:0]
+	e.nonF = e.nonF[:0]
+	for v := C.First(); v >= 0; v = C.NextAfter(v) {
+		cnt := int(e.cntBuf[v])
+		if cnt == cSize-1 {
+			e.fBuf = append(e.fBuf, int32(v))
+			continue
+		}
+		// At most two complement neighbors (t ≤ 3 guarantees it).
+		tmp.AndNotInto(C, e.adjG[v])
+		tmp.Unset(v)
+		first := tmp.First()
+		second := tmp.NextAfter(first)
+		if second >= 0 && tmp.NextAfter(second) >= 0 {
+			e.setArena.Release(mark)
+			return false
+		}
+		e.compA[v] = int32(first)
+		e.compB[v] = int32(second) // -1 when complement degree is 1
+		e.compVisited[v] = false
+		e.nonF = append(e.nonF, int32(v))
+	}
+
+	s := &e.plexScratch
+	s.Begin(e.fBuf)
+
+	// Paths first: walk from complement-degree-1 endpoints.
+	for _, v := range e.nonF {
+		if e.compVisited[v] || e.compB[v] >= 0 {
+			continue
+		}
+		e.walkBuf = e.walkBuf[:0]
+		prev, cur := int32(-1), v
+		for {
+			e.compVisited[cur] = true
+			e.walkBuf = append(e.walkBuf, cur)
+			next := e.compA[cur]
+			if next == prev {
+				next = e.compB[cur]
+			}
+			if next < 0 {
+				break
+			}
+			prev, cur = cur, next
+		}
+		s.AddPath(e.walkBuf)
+	}
+	// Remaining unvisited non-F vertices lie on cycles.
+	for _, v := range e.nonF {
+		if e.compVisited[v] {
+			continue
+		}
+		e.walkBuf = e.walkBuf[:0]
+		prev, cur := int32(-1), v
+		for {
+			e.compVisited[cur] = true
+			e.walkBuf = append(e.walkBuf, cur)
+			next := e.compA[cur]
+			if next == prev {
+				next = e.compB[cur]
+			}
+			prev, cur = cur, next
+			if cur == v {
+				break
+			}
+		}
+		s.AddCycle(e.walkBuf)
+	}
+	s.Emit(func(cl []int32) { e.emit(cl) })
+	e.setArena.Release(mark)
+	return true
+}

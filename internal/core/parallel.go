@@ -1,0 +1,216 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/reduce"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// EnumerateParallel runs the configured algorithm with the top-level
+// branches distributed over min(workers, GOMAXPROCS) goroutines. It is an
+// extension beyond the paper's (sequential) evaluation, exploiting the same
+// property the parallel MCE literature does: top-level branches of the
+// ordered frameworks are independent.
+//
+// emit is called from multiple goroutines but never concurrently (an
+// internal mutex serialises it); the clique order is nondeterministic.
+// Only the ordered algorithms parallelise (BKRef, BKDegen, BKDegree, BKRcd,
+// BKFac, EBBMC, HBBMC with SwitchDepth 1); whole-graph BK/BKPivot and deep
+// hybrid switches fall back to the sequential driver.
+func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]int32)) (*Stats, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sequentialOnly := opts.Algorithm == BK || opts.Algorithm == BKPivot ||
+		(opts.Algorithm == HBBMC && opts.SwitchDepth > 1)
+	if workers == 1 || sequentialOnly {
+		return Enumerate(g, opts, emit)
+	}
+
+	stats := &Stats{}
+	prep := time.Now()
+	var red *reduce.Result
+	if opts.GR {
+		red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
+	} else {
+		red = reduce.Identity(g)
+	}
+	stats.ReducedVertices = red.NumRemoved
+	stats.ReductionCliques = int64(len(red.Cliques))
+	for _, c := range red.Cliques {
+		stats.Cliques++
+		if len(c) > stats.MaxCliqueSize {
+			stats.MaxCliqueSize = len(c)
+		}
+		if emit != nil {
+			emit(c)
+		}
+	}
+	res := red.Residual
+
+	// Shared, read-only ordering state.
+	var (
+		vertOrd, vertPos []int32
+		eo               truss.EdgeOrder
+		inc              *truss.Incidence
+	)
+	switch opts.Algorithm {
+	case BKRef, BKDegen, BKRcd, BKFac:
+		d := order.DegeneracyOrdering(res)
+		stats.Delta = d.Value
+		vertOrd, vertPos = d.Order, d.Pos
+	case BKDegree:
+		vertOrd, vertPos = order.DegreeOrdering(res)
+		stats.HIndex = order.HIndex(res)
+	case EBBMC, HBBMC:
+		switch opts.EdgeOrder {
+		case EdgeOrderTruss:
+			dec := truss.Decompose(res)
+			stats.Tau = dec.Tau
+			eo, inc = dec.EdgeOrder, dec.Inc
+		case EdgeOrderDegeneracy:
+			d := order.DegeneracyOrdering(res)
+			stats.Delta = d.Value
+			eo, inc = truss.DegeneracyEdgeOrder(res, d.Pos), truss.BuildIncidence(res)
+		case EdgeOrderMinDegree:
+			eo, inc = truss.MinDegreeEdgeOrder(res), truss.BuildIncidence(res)
+		}
+	}
+	stats.OrderingTime = time.Since(prep)
+	enum := time.Now()
+
+	var emitMu sync.Mutex
+	mkEmit := func() func([]int32) {
+		if emit == nil {
+			return nil
+		}
+		return func(c []int32) {
+			emitMu.Lock()
+			emit(c)
+			emitMu.Unlock()
+		}
+	}
+
+	workerStats := make([]*Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &Stats{}
+		workerStats[w] = ws
+		e := newEngine(res, red, opts, ws, mkEmit())
+		configureEngine(e, opts)
+		e.eo, e.inc = eo, inc
+		stride, offset := workers, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch opts.Algorithm {
+			case BKRef, BKDegen, BKDegree, BKRcd, BKFac:
+				e.runVertexOrderedSlice(vertOrd, vertPos, offset, stride)
+			case EBBMC, HBBMC:
+				e.runEdgeOrderedSlice(offset, stride)
+			}
+		}()
+	}
+	wg.Wait()
+	// Isolated vertices of the edge-ordered drivers are handled once,
+	// outside the workers.
+	if opts.Algorithm == EBBMC || opts.Algorithm == HBBMC {
+		e := newEngine(res, red, opts, stats, mkEmit())
+		configureEngine(e, opts)
+		e.eo, e.inc = eo, inc
+		for v := int32(0); v < int32(res.NumVertices()); v++ {
+			if res.Degree(v) == 0 {
+				e.S = append(e.S[:0], v)
+				e.emit(nil)
+			}
+		}
+	}
+	for _, ws := range workerStats {
+		stats.merge(ws)
+	}
+	stats.EnumTime = time.Since(enum)
+	return stats, nil
+}
+
+// configureEngine applies the per-algorithm recursion selection shared with
+// the sequential driver.
+func configureEngine(e *engine, opts Options) {
+	switch opts.Algorithm {
+	case BK:
+		e.inner = innerPlain
+	case BKPivot, BKDegen, BKDegree:
+		e.inner = InnerPivot
+	case BKRef:
+		e.inner = InnerRef
+	case BKRcd:
+		e.inner = InnerRcd
+	case BKFac:
+		e.inner = InnerFac
+	case HBBMC:
+		e.inner = opts.Inner
+		e.switchDepth = opts.SwitchDepth
+	case EBBMC:
+		e.inner = InnerPivot
+		e.switchDepth = 1 << 30
+	}
+}
+
+// runVertexOrderedSlice is runVertexOrdered restricted to ordering
+// positions ≡ offset (mod stride).
+func (e *engine) runVertexOrderedSlice(ord, pos []int32, offset, stride int) {
+	for i := offset; i < len(ord); i += stride {
+		v := ord[i]
+		nbrs := e.g.Neighbors(v)
+		e.setUniverse(nbrs, -1, len(nbrs))
+		C := e.setArena.Get()
+		X := e.setArena.Get()
+		for j, w := range nbrs {
+			if pos[w] > pos[v] {
+				C.Set(j)
+			} else {
+				X.Set(j)
+			}
+		}
+		e.S = append(e.S[:0], v)
+		e.stats.TopBranches++
+		e.vertexRec(nil, C, X)
+		e.clearUniverse()
+	}
+}
+
+// runEdgeOrderedSlice is the per-worker variant of runEdgeOrdered: it
+// processes edge-order positions ≡ offset (mod stride) and leaves isolated
+// vertices to the caller.
+func (e *engine) runEdgeOrderedSlice(offset, stride int) {
+	for i := offset; i < len(e.eo.Order); i += stride {
+		e.runEdgeBranch(e.eo.Order[i])
+	}
+}
+
+// merge folds worker counters into s.
+func (s *Stats) merge(o *Stats) {
+	s.Cliques += o.Cliques
+	if o.MaxCliqueSize > s.MaxCliqueSize {
+		s.MaxCliqueSize = o.MaxCliqueSize
+	}
+	s.Calls += o.Calls
+	s.VertexCalls += o.VertexCalls
+	s.EdgeCalls += o.EdgeCalls
+	s.TopBranches += o.TopBranches
+	s.PlexBranches += o.PlexBranches
+	s.EarlyTerminations += o.EarlyTerminations
+	s.ETCliques += o.ETCliques
+	s.SuppressedLeaves += o.SuppressedLeaves
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/gen"
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/verify"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for iter := 0; iter < 30; iter++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(5*n))
+		want := referenceFor(g)
+		for _, algo := range []Algorithm{BKDegen, BKRcd, BKFac, BKRef, BKDegree, EBBMC, HBBMC} {
+			for _, workers := range []int{2, 4} {
+				opts := Options{Algorithm: algo, ET: 3, GR: iter%2 == 0}
+				var got [][]int32
+				stats, err := EnumerateParallel(g, opts, workers, func(c []int32) {
+					got = append(got, append([]int32(nil), c...))
+				})
+				if err != nil {
+					t.Fatalf("iter %d %v w=%d: %v", iter, algo, workers, err)
+				}
+				label := fmt.Sprintf("iter%d/%v/w%d", iter, algo, workers)
+				if d := verify.Diff(got, want); d != "" {
+					t.Fatalf("%s: %s", label, d)
+				}
+				if stats.Cliques != int64(len(got)) {
+					t.Fatalf("%s: stats.Cliques=%d, emitted %d", label, stats.Cliques, len(got))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelFallsBackForWholeGraph(t *testing.T) {
+	g := gen.Complete(6)
+	n, _, err := countParallel(g, Options{Algorithm: BKPivot}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("K6 must have 1 maximal clique, got %d", n)
+	}
+}
+
+func TestParallelDeepSwitchFallsBack(t *testing.T) {
+	g := gen.NoisyCliques(60, 6, 7, 50, 5)
+	a, _, err := countParallel(g, Options{Algorithm: HBBMC, SwitchDepth: 2, ET: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Count(g, Options{Algorithm: HBBMC, SwitchDepth: 2, ET: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fallback mismatch: %d vs %d", a, b)
+	}
+}
+
+func TestParallelStatsMerged(t *testing.T) {
+	g := gen.NoisyCliques(200, 20, 9, 400, 6)
+	_, ps, err := countParallel(g, Options{Algorithm: HBBMC, ET: 3, GR: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ss, err := Count(g, Options{Algorithm: HBBMC, ET: 3, GR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Cliques != ss.Cliques {
+		t.Fatalf("cliques: parallel %d vs sequential %d", ps.Cliques, ss.Cliques)
+	}
+	if ps.Calls != ss.Calls {
+		t.Fatalf("calls: parallel %d vs sequential %d", ps.Calls, ss.Calls)
+	}
+	if ps.TopBranches != ss.TopBranches {
+		t.Fatalf("branches: parallel %d vs sequential %d", ps.TopBranches, ss.TopBranches)
+	}
+	if ps.MaxCliqueSize != ss.MaxCliqueSize {
+		t.Fatalf("ω: parallel %d vs sequential %d", ps.MaxCliqueSize, ss.MaxCliqueSize)
+	}
+}
+
+func TestParallelNilEmit(t *testing.T) {
+	g := gen.ER(300, 1500, 7)
+	n, _, err := countParallel(g, Defaults(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Count(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != m {
+		t.Fatalf("nil-emit parallel count %d != sequential %d", n, m)
+	}
+}
+
+func countParallel(g *graph.Graph, opts Options, workers int) (int64, *Stats, error) {
+	stats, err := EnumerateParallel(g, opts, workers, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return stats.Cliques, stats, nil
+}

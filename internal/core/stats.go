@@ -1,0 +1,62 @@
+package core
+
+import "time"
+
+// Stats aggregates counters for one enumeration run. The branch counters
+// mirror the quantities reported in the paper's Tables IV and V.
+type Stats struct {
+	// Cliques is the number of maximal cliques reported.
+	Cliques int64
+	// MaxCliqueSize is the size ω of the largest clique reported.
+	MaxCliqueSize int
+
+	// Calls counts every recursive branch evaluation (vertex- plus
+	// edge-oriented); VertexCalls and EdgeCalls split it by phase.
+	Calls       int64
+	VertexCalls int64
+	EdgeCalls   int64
+	// TopBranches counts the branches created by the top-level split.
+	TopBranches int64
+
+	// PlexBranches is b of Table V: branches whose candidate graph is a
+	// t-plex for the configured threshold.
+	PlexBranches int64
+	// EarlyTerminations is b0 of Table V: branches actually closed by the
+	// early-termination construction (t-plex candidate graph, empty
+	// exclusion graph and, in hybrid branches, no masked candidate edge).
+	EarlyTerminations int64
+	// ETCliques is the number of cliques emitted by early termination.
+	ETCliques int64
+
+	// ReducedVertices and ReductionCliques summarise the GR preprocessing.
+	ReducedVertices  int
+	ReductionCliques int64
+	// SuppressedLeaves counts residual-graph cliques rejected because a
+	// removed vertex dominated them.
+	SuppressedLeaves int64
+
+	// Delta, Tau and HIndex are the structural parameters of the (reduced)
+	// graph when the run computed them (δ for vertex orderings, τ for the
+	// truss ordering, h for the degree ordering).
+	Delta  int
+	Tau    int
+	HIndex int
+
+	// OrderingTime covers reduction plus ordering construction; EnumTime
+	// covers the recursive enumeration. Total run time is their sum.
+	OrderingTime time.Duration
+	EnumTime     time.Duration
+}
+
+// ETRatio returns b0/b of Table V (0 when no plex branches were seen).
+func (s *Stats) ETRatio() float64 {
+	if s.PlexBranches == 0 {
+		return 0
+	}
+	return float64(s.EarlyTerminations) / float64(s.PlexBranches)
+}
+
+// TotalTime returns ordering plus enumeration time.
+func (s *Stats) TotalTime() time.Duration {
+	return s.OrderingTime + s.EnumTime
+}

@@ -1,0 +1,374 @@
+package core
+
+import "github.com/graphmining/hbbmc/internal/bitset"
+
+// This file contains the vertex-oriented recursions. All share the same
+// contract: (S implicit in e.S, C, X) is a branch; C and X are bitsets over
+// the current local universe owned by the callee (they may be mutated);
+// adjH is the masked candidate adjacency inside hybrid branches (nil
+// otherwise — then the full adjacency e.adjG applies to candidates too).
+
+// pivotRec is the classic Tomita pivot recursion used by BK_Pivot, BK_Degen,
+// BK_Degree and as the default inner recursion of HBBMC: pick the vertex of
+// C ∪ X with the most candidate neighbors and branch only on its
+// non-neighbors in C.
+func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	cSize, minDeg, pivot := e.scanPivot(C, X)
+	// Masked-ness is hereditary: C only shrinks, so once no candidate edge
+	// is masked the entire subtree can run the cheaper unmasked recursion.
+	if adjH != nil && !ablateMaskDrop && !e.maskedEdgesIn(adjH, C) {
+		adjH = nil
+	}
+	if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
+		return
+	}
+	// An exclusion vertex covering every candidate makes all descendants
+	// non-maximal; pruning here costs |C| word-ANDs and skips the subtree.
+	if !ablateXDomination && e.xDominated(C, X) {
+		return
+	}
+	mark := e.setArena.Mark()
+	P := e.setArena.Get()
+	P.AndNotInto(C, e.adjG[pivot])
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	tmp := e.setArena.Get()
+	for v := P.First(); v >= 0; v = P.NextAfter(v) {
+		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+		e.S = append(e.S, e.verts[v])
+		e.pivotRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(v)
+		X.Set(v)
+	}
+	e.setArena.Release(mark)
+}
+
+// scanPivot computes |C|, the minimum candidate degree inside C (full
+// adjacency — used by the t-plex test) and the Tomita pivot over C ∪ X.
+// Exclusion vertices without adjacency rows (the edge-oriented top level
+// skips building them) are not considered as pivots; candidates always
+// provide a valid pivot.
+func (e *engine) scanPivot(C, X bitset.Set) (cSize, minDeg, pivot int) {
+	cSize, minDeg, pivot = 0, int(^uint(0)>>1), -1
+	best := -1
+	e.ensureCnt()
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		cSize++
+		cnt := e.adjG[i].AndCount(C)
+		e.cntBuf[i] = int32(cnt)
+		if cnt > best {
+			best, pivot = cnt, i
+		}
+		if cnt < minDeg {
+			minDeg = cnt
+		}
+	}
+	for i := X.First(); i >= 0; i = X.NextAfter(i) {
+		if e.adjG[i] == nil {
+			continue
+		}
+		if cnt := e.adjG[i].AndCount(C); cnt > best {
+			best, pivot = cnt, i
+		}
+	}
+	return cSize, minDeg, pivot
+}
+
+// maskedEdgesIn reports whether any candidate-candidate edge is masked:
+// some candidate's masked row differs from its full row on C.
+func (e *engine) maskedEdgesIn(adjH []bitset.Set, C bitset.Set) bool {
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		rowG, rowH := e.adjG[i], adjH[i]
+		for w := range C {
+			if (rowG[w]^rowH[w])&C[w] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensureCnt sizes the per-local-id candidate-count cache. Every scan that
+// may lead into tryEarlyTerminate stores its counts here so the plex
+// decomposition can reuse them instead of recounting.
+func (e *engine) ensureCnt() {
+	if cap(e.cntBuf) < len(e.verts) {
+		e.cntBuf = make([]int32, len(e.verts))
+	}
+	e.cntBuf = e.cntBuf[:len(e.verts)]
+}
+
+// xDominated reports whether some exclusion vertex is adjacent to every
+// candidate — in which case no maximal clique exists below the branch. It
+// folds candidate rows over X, so it needs no X-side adjacency rows. The
+// scratch set is carved from the caller's arena mark.
+func (e *engine) xDominated(C, X bitset.Set) bool {
+	if X.IsEmpty() {
+		return false
+	}
+	mark := e.setArena.Mark()
+	fold := e.setArena.Get()
+	fold.CopyFrom(X)
+	for c := C.First(); c >= 0; c = C.NextAfter(c) {
+		fold.AndWith(e.adjG[c])
+		if fold.IsEmpty() {
+			e.setArena.Release(mark)
+			return false
+		}
+	}
+	e.setArena.Release(mark)
+	return true
+}
+
+// refRec is the Naudé-style refined recursion (BK_Ref, [12]): the Tomita
+// pivot augmented with two domination rules — a branch dies when some
+// exclusion vertex covers all of C, and a candidate adjacent to every other
+// candidate is moved into S without branching.
+func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	// Rule 1: an exclusion vertex adjacent to all candidates dominates the
+	// branch — no clique below can be maximal.
+	if e.xDominated(C, X) {
+		return
+	}
+	cSize := C.Count()
+	minDeg, universal := int(^uint(0)>>1), -1
+	best, pivot := -1, -1
+	e.ensureCnt()
+	for i := C.First(); i >= 0; i = C.NextAfter(i) {
+		cnt := e.adjG[i].AndCount(C)
+		e.cntBuf[i] = int32(cnt)
+		if cnt > best {
+			best, pivot = cnt, i
+		}
+		if cnt < minDeg {
+			minDeg = cnt
+		}
+		if cnt == cSize-1 && universal < 0 {
+			universal = i
+		}
+	}
+	if adjH != nil && !ablateMaskDrop && !e.maskedEdgesIn(adjH, C) {
+		adjH = nil
+	}
+	if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
+		return
+	}
+	// Rule 2 (unmasked branches only): a candidate adjacent to every other
+	// candidate belongs to every maximal clique of the branch. In masked
+	// branches full adjacency does not imply candidate adjacency, so the
+	// move would be unsound.
+	if adjH == nil && universal >= 0 {
+		mark := e.setArena.Mark()
+		childC := e.setArena.Get()
+		childX := e.setArena.Get()
+		childC.CopyFrom(C)
+		childC.Unset(universal)
+		childX.AndInto(X, e.adjG[universal])
+		e.S = append(e.S, e.verts[universal])
+		e.refRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		e.setArena.Release(mark)
+		return
+	}
+	mark := e.setArena.Mark()
+	P := e.setArena.Get()
+	P.AndNotInto(C, e.adjG[pivot])
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	tmp := e.setArena.Get()
+	for v := P.First(); v >= 0; v = P.NextAfter(v) {
+		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+		e.S = append(e.S, e.verts[v])
+		e.refRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(v)
+		X.Set(v)
+	}
+	e.setArena.Release(mark)
+}
+
+// rcdRec is BK_Rcd (Algorithm 9 of the paper, from [11]): repeatedly branch
+// at the candidate of minimum candidate-graph degree until the candidate
+// graph becomes a clique, then report S ∪ C if no exclusion vertex covers C.
+func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	mark := e.setArena.Mark()
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	tmp := e.setArena.Get()
+	cSize := 0
+	for {
+		// Scan C: candidate-graph degrees (masked adjacency in hybrid
+		// branches) drive the clique test and the branching choice; full
+		// degrees drive the t-plex test.
+		cSize = 0
+		minH, minV := int(^uint(0)>>1), -1
+		minG := int(^uint(0) >> 1)
+		e.ensureCnt()
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cSize++
+			var cntH int
+			cntG := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cntG)
+			if adjH != nil {
+				cntH = adjH[i].AndCount(C)
+			} else {
+				cntH = cntG
+			}
+			if cntH < minH {
+				minH, minV = cntH, i
+			}
+			if cntG < minG {
+				minG = cntG
+			}
+		}
+		if cSize == 0 {
+			// All candidates were branched away; the vertices now in X
+			// block maximality of S itself.
+			e.setArena.Release(mark)
+			return
+		}
+		if e.tryEarlyTerminate(adjH, C, X, cSize, minG) {
+			e.setArena.Release(mark)
+			return
+		}
+		if minH == cSize-1 {
+			break // candidate graph is a clique
+		}
+		e.deriveChild(adjH, C, X, minV, childC, childX, tmp)
+		e.S = append(e.S, e.verts[minV])
+		e.rcdRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(minV)
+		X.Set(minV)
+	}
+	// C is a candidate-graph clique; S ∪ C is maximal unless some exclusion
+	// vertex is adjacent to all of C.
+	if !e.xDominated(C, X) {
+		e.emitSet(C)
+	}
+	e.setArena.Release(mark)
+}
+
+// facRec is BK_Fac (Algorithm 10 of the paper, from [18]): start from an
+// arbitrary pivot and opportunistically adopt a better one whenever a
+// just-branched vertex would have produced fewer sub-branches.
+func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	if e.opts.ET > 0 {
+		cSize, minDeg := 0, int(^uint(0)>>1)
+		e.ensureCnt()
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cSize++
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			if cnt < minDeg {
+				minDeg = cnt
+			}
+		}
+		if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
+			return
+		}
+	}
+	mark := e.setArena.Mark()
+	P := e.setArena.Get()
+	v := C.First()
+	P.AndNotInto(C, e.adjG[v])
+	pCount := P.Count()
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	tmp := e.setArena.Get()
+	for {
+		u := P.First()
+		if u < 0 {
+			break
+		}
+		e.deriveChild(adjH, C, X, u, childC, childX, tmp)
+		e.S = append(e.S, e.verts[u])
+		e.facRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(u)
+		X.Set(u)
+		P.Unset(u)
+		pCount--
+		// Adopt u as the new pivot when that shrinks the branch set.
+		if alt := C.Count() - C.AndCount(e.adjG[u]); alt < pCount {
+			P.AndNotInto(C, e.adjG[u])
+			pCount = alt
+		}
+	}
+	e.setArena.Release(mark)
+}
+
+// plainRec is the original Bron–Kerbosch recursion without pivoting,
+// branching on every candidate.
+func (e *engine) plainRec(adjH []bitset.Set, C, X bitset.Set) {
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	if e.opts.ET > 0 {
+		cSize, minDeg := 0, int(^uint(0)>>1)
+		e.ensureCnt()
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cSize++
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			if cnt < minDeg {
+				minDeg = cnt
+			}
+		}
+		if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
+			return
+		}
+	}
+	mark := e.setArena.Mark()
+	childC := e.setArena.Get()
+	childX := e.setArena.Get()
+	tmp := e.setArena.Get()
+	snapshot := C.Clone()
+	for v := snapshot.First(); v >= 0; v = snapshot.NextAfter(v) {
+		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+		e.S = append(e.S, e.verts[v])
+		e.plainRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(v)
+		X.Set(v)
+	}
+	e.setArena.Release(mark)
+}

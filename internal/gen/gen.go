@@ -1,0 +1,262 @@
+// Package gen builds the synthetic graphs used throughout the test and
+// benchmark suites: the Erdős–Rényi and Barabási–Albert models of the
+// paper's Appendix D, the Moon–Moser worst-case family, planted-community
+// graphs standing in for the paper's real social networks, and assorted
+// deterministic shapes. All generators are deterministic in their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+// ER samples an Erdős–Rényi G(n, m) graph: m edges drawn uniformly without
+// replacement (self-loops rejected). When m exceeds the number of possible
+// edges the complete graph is returned.
+func ER(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	maxM := int64(n) * int64(n-1) / 2
+	if int64(m) >= maxM {
+		return Complete(n)
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]bool, m)
+	for added := 0; added < m; {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(int32(u), int32(v))
+		added++
+	}
+	return b.MustBuild()
+}
+
+// BA grows a Barabási–Albert preferential-attachment graph: vertices arrive
+// one at a time and connect to k distinct existing vertices chosen with
+// probability proportional to degree. The first k+1 vertices form a clique
+// seed.
+func BA(n, k int, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k+1 {
+		return Complete(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Repeated-endpoint list: choosing uniformly from it is degree-
+	// proportional sampling.
+	targets := make([]int32, 0, 2*k*n)
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddEdge(int32(i), int32(j))
+			targets = append(targets, int32(i), int32(j))
+		}
+	}
+	chosen := make(map[int32]bool, k)
+	picks := make([]int32, 0, k)
+	for v := k + 1; v < n; v++ {
+		for key := range chosen {
+			delete(chosen, key)
+		}
+		picks = picks[:0]
+		for len(picks) < k {
+			w := targets[rng.Intn(len(targets))]
+			if !chosen[w] {
+				chosen[w] = true
+				picks = append(picks, w)
+			}
+		}
+		for _, w := range picks {
+			b.AddEdge(int32(v), w)
+			targets = append(targets, int32(v), w)
+		}
+	}
+	return b.MustBuild()
+}
+
+// MoonMoser returns the complete s-partite graph with parts of size 3
+// (K_{3,3,...,3}), the extremal family with exactly 3^s maximal cliques.
+func MoonMoser(s int) *graph.Graph {
+	n := 3 * s
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i/3 != j/3 {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle graph on n vertices (n ≥ 3 for a proper cycle).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n >= 2 {
+		for i := 0; i < n; i++ {
+			b.AddEdge(int32(i), int32((i+1)%n))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star graph with one hub and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.MustBuild()
+}
+
+// SBMConfig configures a planted-partition (stochastic block model) graph.
+type SBMConfig struct {
+	Communities int     // number of blocks
+	Size        int     // vertices per block
+	PIn         float64 // intra-block edge probability
+	POut        float64 // inter-block edge probability
+}
+
+// SBM samples a stochastic block model graph. Communities are the vertex
+// ranges [i*Size, (i+1)*Size).
+func SBM(cfg SBMConfig, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Communities * cfg.Size
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := cfg.POut
+			if i/cfg.Size == j/cfg.Size {
+				p = cfg.PIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// NoisyCliques plants `count` cliques of the given size over n vertices
+// (vertices drawn at random, so cliques may overlap) and adds `noise`
+// random edges. The result is rich in dense t-plex regions, the structure
+// the early-termination technique exploits.
+func NoisyCliques(n, count, size, noise int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	members := make([]int32, 0, size)
+	for c := 0; c < count; c++ {
+		members = members[:0]
+		for len(members) < size {
+			v := int32(rng.Intn(n))
+			dup := false
+			for _, u := range members {
+				if u == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				members = append(members, v)
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddEdge(members[i], members[j])
+			}
+		}
+	}
+	for i := 0; i < noise; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// PowerLawCluster grows a BA-style graph with an extra triangle-closing
+// step (Holme–Kim model): after each preferential attachment, with
+// probability p the next link closes a triangle with a random neighbor of
+// the previous target. High p raises the clustering coefficient, which
+// raises τ relative to δ.
+func PowerLawCluster(n, k int, p float64, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k+1 {
+		return Complete(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	targets := make([]int32, 0, 2*k*n)
+	adj := make([][]int32, n)
+	addEdge := func(u, v int32) {
+		b.AddEdge(u, v)
+		targets = append(targets, u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			addEdge(int32(i), int32(j))
+		}
+	}
+	chosen := make(map[int32]bool, k)
+	picks := make([]int32, 0, k)
+	for v := k + 1; v < n; v++ {
+		for key := range chosen {
+			delete(chosen, key)
+		}
+		picks = picks[:0]
+		var last int32 = -1
+		for len(picks) < k {
+			var w int32
+			if last >= 0 && rng.Float64() < p && len(adj[last]) > 0 {
+				w = adj[last][rng.Intn(len(adj[last]))]
+			} else {
+				w = targets[rng.Intn(len(targets))]
+			}
+			if w == int32(v) || chosen[w] {
+				last = -1
+				continue
+			}
+			chosen[w] = true
+			picks = append(picks, w)
+			last = w
+		}
+		for _, w := range picks {
+			addEdge(int32(v), w)
+		}
+	}
+	return b.MustBuild()
+}

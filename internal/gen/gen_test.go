@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/truss"
+	"github.com/graphmining/hbbmc/internal/verify"
+)
+
+func TestERBasics(t *testing.T) {
+	g := ER(100, 300, 1)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 300 {
+		t.Fatalf("m = %d, want exactly 300 (sampling without replacement)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERDeterministic(t *testing.T) {
+	a, b := ER(50, 120, 7), ER(50, 120, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		u1, v1 := a.EdgeEndpoints(int32(e))
+		if !b.HasEdge(u1, v1) {
+			t.Fatal("same seed must give same edge set")
+		}
+	}
+	c := ER(50, 120, 8)
+	diff := 0
+	for e := 0; e < a.NumEdges(); e++ {
+		u, v := a.EdgeEndpoints(int32(e))
+		if !c.HasEdge(u, v) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds should give different graphs")
+	}
+}
+
+func TestEROverfullBecomesComplete(t *testing.T) {
+	g := ER(5, 100, 1)
+	if g.NumEdges() != 10 {
+		t.Fatalf("m = %d, want 10 (K5)", g.NumEdges())
+	}
+}
+
+func TestBABasics(t *testing.T) {
+	g := BA(200, 3, 2)
+	if g.NumVertices() != 200 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Each of the n-k-1 arrivals adds exactly k edges to the seed clique.
+	want := (3*4)/2 + (200-4)*3
+	if g.NumEdges() != want {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment produces a heavy tail: the max degree should
+	// be well above the mean.
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 3*mean {
+		t.Errorf("BA max degree %d not heavy-tailed (mean %.1f)", g.MaxDegree(), mean)
+	}
+}
+
+func TestBASmall(t *testing.T) {
+	g := BA(3, 5, 1) // n <= k+1 collapses to a clique
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestMoonMoserCliqueCount(t *testing.T) {
+	for s := 1; s <= 4; s++ {
+		g := MoonMoser(s)
+		got := len(verify.MaximalCliques(g))
+		want := 1
+		for i := 0; i < s; i++ {
+			want *= 3
+		}
+		if got != want {
+			t.Errorf("MoonMoser(%d): %d maximal cliques, want %d", s, got, want)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if g := Complete(6); g.NumEdges() != 15 {
+		t.Error("K6 should have 15 edges")
+	}
+	if g := Path(5); g.NumEdges() != 4 {
+		t.Error("P5 should have 4 edges")
+	}
+	if g := Cycle(5); g.NumEdges() != 5 {
+		t.Error("C5 should have 5 edges")
+	}
+	if g := Cycle(1); g.NumEdges() != 0 {
+		t.Error("C1 should be empty")
+	}
+	if g := Star(5); g.NumEdges() != 4 || g.Degree(0) != 4 {
+		t.Error("Star(5) malformed")
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g := SBM(SBMConfig{Communities: 4, Size: 25, PIn: 0.5, POut: 0.01}, 3)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	intra, inter := 0, 0
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(int32(e))
+		if u/25 == v/25 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Errorf("SBM should be assortative: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestNoisyCliquesContainPlantedCliques(t *testing.T) {
+	g := NoisyCliques(60, 5, 8, 30, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A graph with planted 8-cliques has degeneracy at least 7.
+	if d := order.DegeneracyOrdering(g).Value; d < 7 {
+		t.Errorf("degeneracy %d < 7 despite planted 8-cliques", d)
+	}
+}
+
+func TestPowerLawClusterRaisesClustering(t *testing.T) {
+	flat := BA(300, 4, 5)
+	clustered := PowerLawCluster(300, 4, 0.9, 5)
+	if err := clustered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tf := truss.CountTriangles(flat)
+	tc := truss.CountTriangles(clustered)
+	if tc <= tf {
+		t.Errorf("triangle closing should add triangles: flat=%d clustered=%d", tf, tc)
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	fingerprint := func(g *graph.Graph) string {
+		var b strings.Builder
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.EdgeEndpoints(int32(e))
+			fmt.Fprintf(&b, "%d-%d;", u, v)
+		}
+		return b.String()
+	}
+	for name, mk := range map[string]func() *graph.Graph{
+		"ER":    func() *graph.Graph { return ER(100, 300, 9) },
+		"BA":    func() *graph.Graph { return BA(100, 3, 9) },
+		"SBM":   func() *graph.Graph { return SBM(SBMConfig{2, 30, 0.4, 0.02}, 9) },
+		"Noisy": func() *graph.Graph { return NoisyCliques(50, 4, 6, 20, 9) },
+		"PLC":   func() *graph.Graph { return PowerLawCluster(100, 3, 0.5, 9) },
+	} {
+		if fingerprint(mk()) != fingerprint(mk()) {
+			t.Errorf("%s: edge set not deterministic", name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList asserts the parser never panics and that any
+// successfully parsed graph is internally consistent and round-trips.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n3 4 0.5\n")
+	f.Add("")
+	f.Add("9999999999 1")
+	f.Add("-3 4")
+	f.Add("a b c")
+	f.Add("0 0\n0 1\n1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		g2, err := LoadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzLoadDIMACS asserts the DIMACS parser never panics and validates its
+// successful parses.
+func FuzzLoadDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c only a comment")
+	f.Add("p edge 0 0\n")
+	f.Add("e 1 2")
+	f.Add("p edge -1 5")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed DIMACS graph invalid: %v\ninput: %q", err, input)
+		}
+	})
+}

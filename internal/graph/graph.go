@@ -1,0 +1,160 @@
+// Package graph provides the immutable undirected-graph substrate shared by
+// every algorithm in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form with sorted
+// adjacency, int32 vertex identifiers and a canonical undirected edge
+// numbering (edge (u,v), u < v, carries one id used from both directions).
+// The representation is immutable after construction; the enumeration
+// engines build their own per-branch structures on top of it.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form.
+type Graph struct {
+	offsets []int64 // len n+1; offsets[v]..offsets[v+1] index adj/eids
+	adj     []int32 // sorted neighbor lists, 2m entries
+	eids    []int32 // undirected edge id parallel to adj
+	srcs    []int32 // edge id -> smaller endpoint
+	dsts    []int32 // edge id -> larger endpoint
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| (undirected edges).
+func (g *Graph) NumEdges() int { return len(g.srcs) }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// IncidentEdgeIDs returns, parallel to Neighbors(v), the undirected edge ids
+// of v's incident edges. The slice aliases internal storage.
+func (g *Graph) IncidentEdgeIDs(v int32) []int32 {
+	return g.eids[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	return g.EdgeID(u, v) >= 0
+}
+
+// EdgeID returns the undirected edge id of (u,v), or -1 if the edge does not
+// exist or u == v.
+func (g *Graph) EdgeID(u, v int32) int32 {
+	if u == v {
+		return -1
+	}
+	// Search the shorter adjacency list.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if i < len(nb) && nb[i] == v {
+		return g.eids[g.offsets[u]+int64(i)]
+	}
+	return -1
+}
+
+// EdgeEndpoints returns the endpoints (u,v), u < v, of edge id e.
+func (g *Graph) EdgeEndpoints(e int32) (int32, int32) {
+	return g.srcs[e], g.dsts[e]
+}
+
+// Density returns the paper's edge density ρ = m/n (0 for the empty graph).
+func (g *Graph) Density() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumVertices())
+}
+
+// MaxDegree returns the largest vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// CommonNeighbors appends the sorted common neighborhood of u and v to dst
+// and returns it.
+func (g *Graph) CommonNeighbors(u, v int32, dst []int32) []int32 {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IsClique reports whether every pair of the given vertices is adjacent. The
+// vertices must be distinct.
+func (g *Graph) IsClique(vs []int32) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks internal invariants (sorted unique adjacency, symmetric
+// edges, consistent edge ids). It exists for tests and loaders.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	for v := int32(0); v < int32(n); v++ {
+		nb := g.Neighbors(v)
+		ids := g.IncidentEdgeIDs(v)
+		for i, w := range nb {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			e := ids[i]
+			if e < 0 || int(e) >= g.NumEdges() {
+				return fmt.Errorf("graph: edge id %d out of range at (%d,%d)", e, v, w)
+			}
+			a, b := g.EdgeEndpoints(e)
+			lo, hi := v, w
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if a != lo || b != hi {
+				return fmt.Errorf("graph: edge id %d maps to (%d,%d), expected (%d,%d)", e, a, b, lo, hi)
+			}
+		}
+	}
+	return nil
+}

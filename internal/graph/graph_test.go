@@ -1,0 +1,336 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triangleWithTail(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangleWithTail(t)
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after dedup", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("Degree(2) = %d, want 0 (self-loop dropped)", g.Degree(2))
+	}
+}
+
+func TestBuilderExtendsVertexCount(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.MustBuild()
+	if g.NumVertices() != 10 {
+		t.Fatalf("NumVertices = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Error("FromEdges(-1) should fail")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Error("edge exceeding vertex count should fail")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Error("negative id should fail")
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := triangleWithTail(t)
+	wantDeg := []int{2, 2, 3, 1}
+	for v, want := range wantDeg {
+		if got := g.Degree(int32(v)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, []int32{0, 1, 3}) {
+		t.Errorf("Neighbors(2) = %v, want [0 1 3]", got)
+	}
+}
+
+func TestHasEdgeAndEdgeID(t *testing.T) {
+	g := triangleWithTail(t)
+	cases := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, true}, {2, 3, true},
+		{0, 3, false}, {1, 3, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	id := g.EdgeID(3, 2)
+	if id < 0 {
+		t.Fatal("EdgeID(3,2) missing")
+	}
+	u, v := g.EdgeEndpoints(id)
+	if u != 2 || v != 3 {
+		t.Errorf("EdgeEndpoints(%d) = (%d,%d), want (2,3)", id, u, v)
+	}
+}
+
+func TestEdgeIDsAreCanonicalAndDistinct(t *testing.T) {
+	g := triangleWithTail(t)
+	seen := map[int32]bool{}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ids := g.IncidentEdgeIDs(v)
+		nb := g.Neighbors(v)
+		for i := range nb {
+			a, bb := g.EdgeEndpoints(ids[i])
+			lo, hi := v, nb[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if a != lo || bb != hi {
+				t.Fatalf("edge id %d endpoints (%d,%d), want (%d,%d)", ids[i], a, bb, lo, hi)
+			}
+			seen[ids[i]] = true
+		}
+	}
+	if len(seen) != g.NumEdges() {
+		t.Errorf("saw %d distinct edge ids, want %d", len(seen), g.NumEdges())
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := triangleWithTail(t)
+	got := g.CommonNeighbors(0, 1, nil)
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Errorf("CommonNeighbors(0,1) = %v, want [2]", got)
+	}
+	if got := g.CommonNeighbors(0, 3, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("CommonNeighbors(0,3) = %v, want [2]", got)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := triangleWithTail(t)
+	if !g.IsClique([]int32{0, 1, 2}) {
+		t.Error("0,1,2 should be a clique")
+	}
+	if g.IsClique([]int32{0, 1, 3}) {
+		t.Error("0,1,3 should not be a clique")
+	}
+	if !g.IsClique([]int32{3}) || !g.IsClique(nil) {
+		t.Error("singleton and empty sets are cliques")
+	}
+}
+
+func TestDensityAndMaxDegree(t *testing.T) {
+	g := triangleWithTail(t)
+	if got := g.Density(); got != 1.0 {
+		t.Errorf("Density = %v, want 1.0", got)
+	}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	empty, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Density() != 0 || empty.MaxDegree() != 0 {
+		t.Error("empty graph should report zero density and degree")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := triangleWithTail(t)
+	sub, back, err := g.InducedSubgraph([]int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced triangle has n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if !reflect.DeepEqual(back, []int32{2, 0, 1}) {
+		t.Errorf("back map = %v", back)
+	}
+	if _, _, err := g.InducedSubgraph([]int32{0, 0}); err == nil {
+		t.Error("duplicate vertices should fail")
+	}
+	if _, _, err := g.InducedSubgraph([]int32{99}); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2 0.5
+2 0
+
+3 2
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("loaded n=%d m=%d, want 4/4", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0", "a b", "0 b", "-1 2"} {
+		if _, err := LoadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := triangleWithTail(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: n %d->%d m %d->%d",
+			g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(int32(e))
+		if !g2.HasEdge(u, v) {
+			t.Errorf("edge (%d,%d) lost in round trip", u, v)
+		}
+	}
+}
+
+func TestLoadDIMACS(t *testing.T) {
+	in := `c sample
+p edge 4 3
+e 1 2
+e 2 3
+e 3 4
+`
+	g, err := LoadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("loaded n=%d m=%d, want 4/3", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("DIMACS 1-based ids not shifted")
+	}
+}
+
+func TestLoadDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"e 1 2",              // edge before header
+		"p edge x 1",         // bad n
+		"p edge 2 1\ne 0 1",  // 0-based id
+		"p edge 2 1\ne 1",    // short edge
+		"p edge 2 1\nq 1 2",  // unknown record
+		"",                   // no header
+		"p edge 2 1\ne 1 a",  // bad id
+		"p edge 2 1\ne -1 2", // negative
+	} {
+		if _, err := LoadDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("DIMACS input %q should fail", bad)
+		}
+	}
+}
+
+// randomGraph builds a reproducible ER-style graph for property tests.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("random graph %d invalid: %v", i, err)
+		}
+		// Degree sum equals 2m.
+		sum := 0
+		for v := int32(0); v < int32(n); v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.NumEdges())
+		}
+	}
+}
+
+func TestQuickHasEdgeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 160)
+	f := func(a, b uint8) bool {
+		u, v := int32(a%40), int32(b%40)
+		return g.HasEdge(u, v) == g.HasEdge(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCommonNeighborsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 30, 120)
+	f := func(a, b uint8) bool {
+		u, v := int32(a%30), int32(b%30)
+		got := g.CommonNeighbors(u, v, nil)
+		var want []int32
+		for w := int32(0); w < 30; w++ {
+			if g.HasEdge(u, w) && g.HasEdge(v, w) {
+				want = append(want, w)
+			}
+		}
+		return reflect.DeepEqual(got, want) || (len(got) == 0 && len(want) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadEdgeList parses whitespace-separated "u v" pairs, one edge per line.
+// Lines starting with '#' or '%' are comments. Vertex ids are non-negative
+// integers; the vertex count is 1 + the largest id seen. Directions, weights
+// (a third column, ignored) and self-loops are dropped, matching the paper's
+// preprocessing of the real datasets.
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	b := NewBuilder(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	return b.Build()
+}
+
+// LoadEdgeListFile opens path and parses it with LoadEdgeList.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := LoadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as "u v" lines, one undirected edge per
+// line, in edge-id order.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(int32(e))
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDIMACS parses the DIMACS clique/coloring format: a "p edge n m" header
+// followed by "e u v" lines with 1-based vertex ids. "c" lines are comments.
+func LoadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			b = NewBuilder(n)
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			u, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil || u < 1 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", lineNo, fields[1])
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", lineNo, fields[2])
+			}
+			b.AddEdge(int32(u-1), int32(v-1))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading DIMACS input: %v", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: DIMACS input has no problem line")
+	}
+	return b.Build()
+}

@@ -1,0 +1,179 @@
+package kclique
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/gen"
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+func binom(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+	}
+	return r
+}
+
+// bruteCount counts k-cliques by subset enumeration (n ≤ 20).
+func bruteCount(g *graph.Graph, k int) int64 {
+	n := g.NumVertices()
+	var count int64
+	var rec func(start int, chosen []int32)
+	rec = func(start int, chosen []int32) {
+		if len(chosen) == k {
+			count++
+			return
+		}
+		for v := start; v < n; v++ {
+			ok := true
+			for _, u := range chosen {
+				if !g.HasEdge(int32(v), u) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(v+1, append(chosen, int32(v)))
+			}
+		}
+	}
+	rec(0, nil)
+	return count
+}
+
+func TestCompleteGraphCounts(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		g := gen.Complete(n)
+		for k := 1; k <= n+1; k++ {
+			got, err := Count(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := binom(n, k); got != want {
+				t.Errorf("K%d: %d %d-cliques, want %d", n, got, k, want)
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Count(g, 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, err := Count(g, -2); err == nil {
+		t.Error("negative k must be rejected")
+	}
+	n1, _ := Count(g, 1)
+	if n1 != 5 {
+		t.Errorf("1-cliques = %d, want 5", n1)
+	}
+	n2, _ := Count(g, 2)
+	if n2 != 4 {
+		t.Errorf("2-cliques = %d, want 4", n2)
+	}
+	n3, _ := Count(g, 3)
+	if n3 != 0 {
+		t.Errorf("3-cliques in a path = %d, want 0", n3)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// Two triangles sharing an edge: 0-1-2 and 1-2-3.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	n, _ := Count(g, 3)
+	if n != 2 {
+		t.Errorf("triangles = %d, want 2", n)
+	}
+	n4, _ := Count(g, 4)
+	if n4 != 0 {
+		t.Errorf("4-cliques = %d, want 0", n4)
+	}
+}
+
+func TestAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(16)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		for k := 1; k <= 6; k++ {
+			got, err := Count(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := bruteCount(g, k); got != want {
+				t.Fatalf("iter %d k=%d: got %d, want %d", iter, k, got, want)
+			}
+		}
+	}
+}
+
+func TestListedCliquesAreValidAndDistinct(t *testing.T) {
+	g := gen.NoisyCliques(60, 6, 8, 60, 9)
+	for k := 3; k <= 6; k++ {
+		seen := map[string]bool{}
+		count, err := List(g, k, func(c []int32) {
+			if len(c) != k {
+				t.Fatalf("clique %v has %d vertices, want %d", c, len(c), k)
+			}
+			cc := append([]int32(nil), c...)
+			sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+			for i := 0; i < len(cc); i++ {
+				for j := i + 1; j < len(cc); j++ {
+					if !g.HasEdge(cc[i], cc[j]) {
+						t.Fatalf("%v is not a clique", cc)
+					}
+				}
+			}
+			key := fmt.Sprint(cc)
+			if seen[key] {
+				t.Fatalf("duplicate %d-clique %v", k, cc)
+			}
+			seen[key] = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != int64(len(seen)) {
+			t.Fatalf("k=%d: count %d != emitted %d", k, count, len(seen))
+		}
+	}
+}
+
+func TestMoonMoserKCliques(t *testing.T) {
+	// MoonMoser(s) = complete s-partite with parts of 3: k-cliques pick k
+	// distinct parts and one of 3 vertices each: C(s,k)·3^k.
+	for s := 2; s <= 4; s++ {
+		g := gen.MoonMoser(s)
+		for k := 1; k <= s; k++ {
+			got, _ := Count(g, k)
+			want := binom(s, k)
+			for i := 0; i < k; i++ {
+				want *= 3
+			}
+			if got != want {
+				t.Errorf("MoonMoser(%d) k=%d: got %d, want %d", s, k, got, want)
+			}
+		}
+		if over, _ := Count(g, s+1); over != 0 {
+			t.Errorf("MoonMoser(%d) has no (s+1)-clique", s)
+		}
+	}
+}

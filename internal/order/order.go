@@ -1,0 +1,150 @@
+// Package order computes the vertex orderings used by the branch-and-bound
+// frameworks: the degeneracy ordering (BK_Degen, [9][10]), the degree
+// ordering (BK_Degree, [17]) and the graph h-index. All run in O(n + m).
+package order
+
+import (
+	"sort"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+// Degeneracy holds the result of a core decomposition.
+type Degeneracy struct {
+	// Order lists the vertices in degeneracy order (smallest-degree-first
+	// peeling order).
+	Order []int32
+	// Pos[v] is v's position in Order.
+	Pos []int32
+	// Core[v] is the core number of v.
+	Core []int32
+	// Value is the graph degeneracy δ = max core number.
+	Value int
+}
+
+// DegeneracyOrdering peels minimum-degree vertices with a bucket queue,
+// producing the degeneracy ordering and core numbers in O(n + m).
+func DegeneracyOrdering(g *graph.Graph) *Degeneracy {
+	n := g.NumVertices()
+	d := &Degeneracy{
+		Order: make([]int32, 0, n),
+		Pos:   make([]int32, n),
+		Core:  make([]int32, n),
+	}
+	if n == 0 {
+		return d
+	}
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		binStart[deg[v]+1]++
+	}
+	for i := 1; i < len(binStart); i++ {
+		binStart[i] += binStart[i-1]
+	}
+	vert := make([]int32, n) // vertices sorted by current degree
+	pos := make([]int32, n)  // position of v in vert
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		p := cursor[deg[v]]
+		vert[p] = int32(v)
+		pos[v] = p
+		cursor[deg[v]]++
+	}
+	bin := make([]int32, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	removed := make([]bool, n)
+	degeneracy := int32(0)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > degeneracy {
+			degeneracy = deg[v]
+		}
+		d.Core[v] = degeneracy
+		d.Pos[v] = int32(len(d.Order))
+		d.Order = append(d.Order, v)
+		removed[v] = true
+		for _, w := range g.Neighbors(v) {
+			if removed[w] {
+				continue
+			}
+			dw := deg[w]
+			// Swap w with the first vertex of its bucket, then shrink the
+			// bucket boundary so w lands in bucket dw-1.
+			pw := pos[w]
+			ps := bin[dw]
+			if int(ps) <= i {
+				ps = int32(i + 1)
+				bin[dw] = ps
+			}
+			u := vert[ps]
+			if u != w {
+				vert[ps], vert[pw] = w, u
+				pos[w], pos[u] = ps, pw
+			}
+			bin[dw]++
+			deg[w]--
+		}
+	}
+	d.Value = int(degeneracy)
+	return d
+}
+
+// DegreeOrdering returns the vertices sorted by non-decreasing degree (ties
+// by id) together with the position index. This is the ordering used by
+// BK_Degree.
+func DegreeOrdering(g *graph.Graph) (order, pos []int32) {
+	n := g.NumVertices()
+	order = make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	pos = make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	return order, pos
+}
+
+// HIndex returns the graph h-index: the largest h such that at least h
+// vertices have degree ≥ h.
+func HIndex(g *graph.Graph) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	// Counting sort of degrees, capped at n.
+	count := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
+		if d > n {
+			d = n
+		}
+		count[d]++
+	}
+	atLeast := 0
+	for h := n; h >= 0; h-- {
+		atLeast += count[h]
+		if atLeast >= h {
+			return h
+		}
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.MustBuild()
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.MustBuild()
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.NewBuilder(0).MustBuild(), 0},
+		{"isolated", graph.NewBuilder(5).MustBuild(), 0},
+		{"K5", complete(5), 4},
+		{"K2", complete(2), 1},
+		{"path10", path(10), 1},
+		{"cycle10", cycle(10), 2},
+		{"star10", star(10), 1},
+	}
+	for _, c := range cases {
+		d := DegeneracyOrdering(c.g)
+		if d.Value != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.name, d.Value, c.want)
+		}
+	}
+}
+
+// checkOrderingInvariant verifies the defining property of a degeneracy
+// ordering: every vertex has at most δ neighbors later in the order.
+func checkOrderingInvariant(t *testing.T, g *graph.Graph, d *Degeneracy) {
+	t.Helper()
+	if len(d.Order) != g.NumVertices() {
+		t.Fatalf("ordering has %d vertices, want %d", len(d.Order), g.NumVertices())
+	}
+	seen := make([]bool, g.NumVertices())
+	for i, v := range d.Order {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated in ordering", v)
+		}
+		seen[v] = true
+		if d.Pos[v] != int32(i) {
+			t.Fatalf("Pos[%d] = %d, want %d", v, d.Pos[v], i)
+		}
+		later := 0
+		for _, w := range g.Neighbors(v) {
+			if d.Pos[w] > d.Pos[v] {
+				later++
+			}
+		}
+		if later > d.Value {
+			t.Fatalf("vertex %d has %d later neighbors, exceeds degeneracy %d", v, later, d.Value)
+		}
+	}
+}
+
+func TestDegeneracyOrderingInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(80)
+		g := randomGraph(rng, n, rng.Intn(5*n))
+		d := DegeneracyOrdering(g)
+		checkOrderingInvariant(t, g, d)
+		// Core numbers are monotone along the peeling order.
+		for j := 1; j < len(d.Order); j++ {
+			if d.Core[d.Order[j]] < d.Core[d.Order[j-1]] {
+				t.Fatalf("core numbers not monotone along order")
+			}
+		}
+	}
+}
+
+func TestCoreNumbersOnCompleteBipartite(t *testing.T) {
+	// K_{3,3}: every vertex has core number 3.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	g := b.MustBuild()
+	d := DegeneracyOrdering(g)
+	if d.Value != 3 {
+		t.Fatalf("degeneracy of K33 = %d, want 3", d.Value)
+	}
+	for v := int32(0); v < 6; v++ {
+		if d.Core[v] != 3 {
+			t.Errorf("Core[%d] = %d, want 3", v, d.Core[v])
+		}
+	}
+}
+
+func TestDegreeOrdering(t *testing.T) {
+	g := star(5)
+	ord, pos := DegreeOrdering(g)
+	if ord[len(ord)-1] != 0 {
+		t.Errorf("hub should be last in degree order, got %v", ord)
+	}
+	for i, v := range ord {
+		if pos[v] != int32(i) {
+			t.Errorf("pos[%d] = %d, want %d", v, pos[v], i)
+		}
+	}
+	for i := 1; i < len(ord); i++ {
+		if g.Degree(ord[i-1]) > g.Degree(ord[i]) {
+			t.Error("degree ordering not non-decreasing")
+		}
+	}
+}
+
+func TestHIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.NewBuilder(0).MustBuild(), 0},
+		{"isolated", graph.NewBuilder(4).MustBuild(), 0},
+		{"K5", complete(5), 4},
+		{"path10", path(10), 2},
+		{"star10", star(10), 1},
+	}
+	for _, c := range cases {
+		if got := HIndex(c.g); got != c.want {
+			t.Errorf("%s: h-index = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHIndexAtLeastDegeneracy(t *testing.T) {
+	// δ ≤ h for every graph (standard inequality).
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		if d, h := DegeneracyOrdering(g).Value, HIndex(g); d > h {
+			t.Fatalf("degeneracy %d > h-index %d", d, h)
+		}
+	}
+}

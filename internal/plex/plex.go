@@ -1,0 +1,306 @@
+// Package plex implements the paper's early-termination construction
+// (Section IV): when a branch's candidate graph is a t-plex with t ≤ 3 and
+// the exclusion graph is empty, all maximal cliques can be built directly
+// from the topology of the complement graph instead of branching.
+//
+// The complement of a t-plex with t ≤ 3 has maximum degree ≤ 2, so its
+// connected components are isolated vertices, simple paths or simple cycles.
+// Maximal cliques of the plex are exactly F ∪ (one maximal independent set
+// per complement path/cycle), where F is the set of complement-isolated
+// vertices (Algorithms 5–8 of the paper).
+package plex
+
+// Adjacency reports whether two vertices of the candidate set are adjacent.
+// The enumeration functions only probe pairs of vertices they were given.
+type Adjacency func(u, v int32) bool
+
+// IsTPlex reports whether the graph induced on verts is a t-plex: every
+// vertex has at most t non-neighbors inside verts, counting itself.
+func IsTPlex(verts []int32, adj Adjacency, t int) bool {
+	for _, u := range verts {
+		non := 1 // itself
+		for _, v := range verts {
+			if v != u && !adj(u, v) {
+				non++
+				if non > t {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Decomposition is the structure of the complement of a (≤3)-plex.
+type Decomposition struct {
+	// F holds the vertices adjacent to every other vertex (complement-
+	// isolated); they belong to every maximal clique.
+	F []int32
+	// Paths and Cycles are the complement components, each listed in walk
+	// order (consecutive entries are complement edges).
+	Paths  [][]int32
+	Cycles [][]int32
+}
+
+// DecomposeComplement builds the complement structure of the graph induced
+// on verts. It returns ok=false when some vertex has more than two
+// complement neighbors, i.e. the graph is not a 3-plex.
+func DecomposeComplement(verts []int32, adj Adjacency) (*Decomposition, bool) {
+	k := len(verts)
+	// Complement adjacency, capped at degree 2.
+	compAdj := make([][2]int32, k)
+	compDeg := make([]int, k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if adj(verts[i], verts[j]) {
+				continue
+			}
+			if compDeg[i] == 2 || compDeg[j] == 2 {
+				return nil, false
+			}
+			compAdj[i][compDeg[i]] = int32(j)
+			compAdj[j][compDeg[j]] = int32(i)
+			compDeg[i]++
+			compDeg[j]++
+		}
+	}
+	d := &Decomposition{}
+	visited := make([]bool, k)
+	// Isolated vertices and paths first.
+	for i := 0; i < k; i++ {
+		if visited[i] {
+			continue
+		}
+		switch compDeg[i] {
+		case 0:
+			visited[i] = true
+			d.F = append(d.F, verts[i])
+		case 1:
+			walk := []int32{verts[i]}
+			visited[i] = true
+			prev, cur := int32(i), compAdj[i][0]
+			for {
+				visited[cur] = true
+				walk = append(walk, verts[cur])
+				if compDeg[cur] == 1 {
+					break
+				}
+				next := compAdj[cur][0]
+				if next == prev {
+					next = compAdj[cur][1]
+				}
+				prev, cur = cur, next
+			}
+			d.Paths = append(d.Paths, walk)
+		}
+	}
+	// Remaining unvisited vertices all have complement degree 2: cycles.
+	for i := 0; i < k; i++ {
+		if visited[i] {
+			continue
+		}
+		walk := []int32{verts[i]}
+		visited[i] = true
+		prev, cur := int32(i), compAdj[i][0]
+		for cur != int32(i) {
+			visited[cur] = true
+			walk = append(walk, verts[cur])
+			next := compAdj[cur][0]
+			if next == prev {
+				next = compAdj[cur][1]
+			}
+			prev, cur = cur, next
+		}
+		d.Cycles = append(d.Cycles, walk)
+	}
+	return d, true
+}
+
+// MISOfPath returns the maximal independent sets of a simple path given in
+// walk order (Algorithm 6 of the paper: start from v1 or v2, then repeatedly
+// jump +2 or +3 positions until within two of the end).
+func MISOfPath(p []int32) [][]int32 {
+	if len(p) == 0 {
+		return nil
+	}
+	if len(p) == 1 {
+		return [][]int32{{p[0]}}
+	}
+	var out [][]int32
+	var rec func(prefix []int32, last int)
+	rec = func(prefix []int32, last int) {
+		if last+2 >= len(p) { // 0-based: no further vertex can be added
+			out = append(out, append([]int32(nil), prefix...))
+			return
+		}
+		rec(append(prefix, p[last+2]), last+2)
+		if last+3 < len(p) {
+			rec(append(prefix, p[last+3]), last+3)
+		}
+	}
+	rec([]int32{p[0]}, 0)
+	rec([]int32{p[1]}, 1)
+	return out
+}
+
+// MISOfCycle returns the maximal independent sets of a simple cycle given in
+// walk order (Algorithm 7 of the paper).
+func MISOfCycle(c []int32) [][]int32 {
+	k := len(c)
+	switch {
+	case k < 3:
+		// A complement component that is a cycle has length ≥ 3; shorter
+		// inputs are treated as paths for robustness.
+		return MISOfPath(c)
+	case k == 3:
+		return [][]int32{{c[0]}, {c[1]}, {c[2]}}
+	case k == 4:
+		return [][]int32{{c[0], c[2]}, {c[1], c[3]}}
+	case k == 5:
+		return [][]int32{
+			{c[0], c[2]}, {c[0], c[3]}, {c[1], c[3]}, {c[1], c[4]}, {c[2], c[4]},
+		}
+	}
+	var out [][]int32
+	rec := func(prefix []int32, last int, p []int32) {
+		var walk func(prefix []int32, last int)
+		walk = func(prefix []int32, last int) {
+			if last+2 >= len(p) {
+				out = append(out, append([]int32(nil), prefix...))
+				return
+			}
+			walk(append(prefix, p[last+2]), last+2)
+			if last+3 < len(p) {
+				walk(append(prefix, p[last+3]), last+3)
+			}
+		}
+		walk(prefix, last)
+	}
+	// Case 1: c[0] in the set; neighbors c[1] and c[k-1] excluded.
+	rec([]int32{c[0]}, 0, c[:k-1])
+	// Case 2: c[1] in, c[0] out.
+	rec([]int32{c[1]}, 0, c[1:])
+	// Case 3: c[0], c[1] out; maximality then forces c[2] and c[k-1] in.
+	rec([]int32{c[k-1], c[2]}, 0, c[2:k-2])
+	return out
+}
+
+// EnumerateMaximal emits every maximal clique of the graph induced on verts,
+// which must be a t-plex for some t ≤ 3 with respect to adj. It returns
+// false (emitting nothing) when the complement has a vertex of degree > 2,
+// i.e. the precondition fails. The slice passed to emit is reused.
+func EnumerateMaximal(verts []int32, adj Adjacency, emit func([]int32)) bool {
+	if len(verts) == 0 {
+		emit(nil)
+		return true
+	}
+	d, ok := DecomposeComplement(verts, adj)
+	if !ok {
+		return false
+	}
+	// Choice lists per component.
+	comps := make([][][]int32, 0, len(d.Paths)+len(d.Cycles))
+	for _, p := range d.Paths {
+		comps = append(comps, MISOfPath(p))
+	}
+	for _, c := range d.Cycles {
+		comps = append(comps, MISOfCycle(c))
+	}
+	buf := append([]int32(nil), d.F...)
+	if len(comps) == 0 {
+		emit(buf)
+		return true
+	}
+	idx := make([]int, len(comps))
+	for {
+		clique := buf
+		for ci, choice := range idx {
+			clique = append(clique, comps[ci][choice]...)
+		}
+		emit(clique)
+		// Advance the mixed-radix counter.
+		ci := 0
+		for ; ci < len(idx); ci++ {
+			idx[ci]++
+			if idx[ci] < len(comps[ci]) {
+				break
+			}
+			idx[ci] = 0
+		}
+		if ci == len(idx) {
+			return true
+		}
+	}
+}
+
+// Enumerate2Plex is the specialised 2-plex routine (Algorithm 5): partition
+// the vertices into F (adjacent to all others) and complement-matching pairs
+// (L[i], R[i]); each of the 2^|L| pair selections yields one maximal clique.
+// Returns false when the graph is not a 2-plex.
+func Enumerate2Plex(verts []int32, adj Adjacency, emit func([]int32)) bool {
+	k := len(verts)
+	var f, l, r []int32
+	paired := make([]bool, k)
+	for i := 0; i < k; i++ {
+		if paired[i] {
+			continue
+		}
+		mate := -1
+		for j := 0; j < k; j++ {
+			if j == i || adj(verts[i], verts[j]) {
+				continue
+			}
+			if mate >= 0 {
+				return false // two non-neighbors: not a 2-plex
+			}
+			mate = j
+		}
+		if mate < 0 {
+			f = append(f, verts[i])
+			continue
+		}
+		if paired[mate] {
+			return false // mate already consumed: complement not a matching
+		}
+		paired[i], paired[mate] = true, true
+		l = append(l, verts[i])
+		r = append(r, verts[mate])
+	}
+	if len(l) > 62 {
+		return false // 2^|L| cliques would overflow the counter; unreachable
+	}
+	buf := make([]int32, 0, len(f)+len(l))
+	for num := uint64(0); num < uint64(1)<<uint(len(l)); num++ {
+		buf = append(buf[:0], f...)
+		for i := range l {
+			if num&(1<<uint(i)) == 0 {
+				buf = append(buf, l[i])
+			} else {
+				buf = append(buf, r[i])
+			}
+		}
+		emit(buf)
+	}
+	return true
+}
+
+// CountMaximal returns the number of maximal cliques of the (≤3)-plex
+// without materialising them: the product of per-component maximal
+// independent set counts. ok=false when the precondition fails.
+func CountMaximal(verts []int32, adj Adjacency) (count int64, ok bool) {
+	if len(verts) == 0 {
+		return 1, true
+	}
+	d, ok := DecomposeComplement(verts, adj)
+	if !ok {
+		return 0, false
+	}
+	count = 1
+	for _, p := range d.Paths {
+		count *= int64(len(MISOfPath(p)))
+	}
+	for _, c := range d.Cycles {
+		count *= int64(len(MISOfCycle(c)))
+	}
+	return count, true
+}

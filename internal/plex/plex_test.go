@@ -1,0 +1,373 @@
+package plex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pairGraph is a tiny adjacency backed by an edge set over 0..n-1 where the
+// COMPLEMENT edges are listed; this matches how plexes are natural to state.
+type pairGraph struct {
+	n       int
+	missing map[[2]int32]bool
+}
+
+func newPairGraph(n int, complementEdges ...[2]int32) *pairGraph {
+	g := &pairGraph{n: n, missing: map[[2]int32]bool{}}
+	for _, e := range complementEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		g.missing[[2]int32{u, v}] = true
+	}
+	return g
+}
+
+func (g *pairGraph) adj(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return !g.missing[[2]int32{u, v}]
+}
+
+func (g *pairGraph) verts() []int32 {
+	vs := make([]int32, g.n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+// bruteMaximalCliques enumerates maximal cliques by subset enumeration;
+// usable up to ~16 vertices.
+func bruteMaximalCliques(verts []int32, adj Adjacency) [][]int32 {
+	k := len(verts)
+	isClique := func(mask uint32) bool {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if mask&(1<<j) != 0 && !adj(verts[i], verts[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var out [][]int32
+	for mask := uint32(1); mask < 1<<k; mask++ {
+		if !isClique(mask) {
+			continue
+		}
+		maximal := true
+		for j := 0; j < k; j++ {
+			if mask&(1<<j) == 0 && isClique(mask|1<<j) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var c []int32
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					c = append(c, verts[i])
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func canon(cliques [][]int32) []string {
+	out := make([]string, 0, len(cliques))
+	for _, c := range cliques {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		out = append(out, fmt.Sprint(cc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameCliques(t *testing.T, label string, got, want [][]int32) {
+	t.Helper()
+	g, w := canon(got), canon(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d cliques, want %d\ngot:  %v\nwant: %v", label, len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: clique mismatch\ngot:  %v\nwant: %v", label, g, w)
+		}
+	}
+}
+
+func collect(fn func(emit func([]int32)) bool) ([][]int32, bool) {
+	var out [][]int32
+	ok := fn(func(c []int32) {
+		out = append(out, append([]int32(nil), c...))
+	})
+	return out, ok
+}
+
+func TestIsTPlex(t *testing.T) {
+	clique := newPairGraph(4)
+	if !IsTPlex(clique.verts(), clique.adj, 1) {
+		t.Error("K4 should be a 1-plex")
+	}
+	// One missing edge: 2-plex but not 1-plex.
+	g := newPairGraph(4, [2]int32{0, 1})
+	if IsTPlex(g.verts(), g.adj, 1) {
+		t.Error("K4 minus an edge is not a 1-plex")
+	}
+	if !IsTPlex(g.verts(), g.adj, 2) {
+		t.Error("K4 minus an edge is a 2-plex")
+	}
+	// Complement path 0-1-2: vertex 1 has two non-neighbors -> 3-plex only.
+	h := newPairGraph(4, [2]int32{0, 1}, [2]int32{1, 2})
+	if IsTPlex(h.verts(), h.adj, 2) {
+		t.Error("complement path of length 2 is not a 2-plex")
+	}
+	if !IsTPlex(h.verts(), h.adj, 3) {
+		t.Error("complement path of length 2 is a 3-plex")
+	}
+	if !IsTPlex(nil, clique.adj, 1) {
+		t.Error("empty set is trivially a plex")
+	}
+}
+
+func TestMISOfPathSmall(t *testing.T) {
+	p := []int32{0, 1, 2, 3, 4}
+	got := MISOfPath(p)
+	want := [][]int32{{0, 2, 4}, {0, 3}, {1, 3}, {1, 4}}
+	sameCliques(t, "P5", got, want)
+
+	sameCliques(t, "P1", MISOfPath([]int32{7}), [][]int32{{7}})
+	sameCliques(t, "P2", MISOfPath([]int32{3, 9}), [][]int32{{3}, {9}})
+	if MISOfPath(nil) != nil {
+		t.Error("empty path should produce nothing")
+	}
+}
+
+// bruteMISOfPath computes maximal independent sets of a path directly.
+func bruteMIS(n int, edge func(i, j int) bool) [][]int32 {
+	verts := make([]int32, n)
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	// MIS of graph == maximal cliques of complement.
+	return bruteMaximalCliques(verts, func(u, v int32) bool { return !edge(int(u), int(v)) })
+}
+
+func TestMISOfPathMatchesBruteForce(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		p := make([]int32, n)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		got := MISOfPath(p)
+		want := bruteMIS(n, func(i, j int) bool {
+			d := i - j
+			return d == 1 || d == -1
+		})
+		sameCliques(t, fmt.Sprintf("P%d", n), got, want)
+	}
+}
+
+func TestMISOfCycleMatchesBruteForce(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		c := make([]int32, n)
+		for i := range c {
+			c[i] = int32(i)
+		}
+		got := MISOfCycle(c)
+		want := bruteMIS(n, func(i, j int) bool {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			return d == 1 || d == n-1
+		})
+		sameCliques(t, fmt.Sprintf("C%d", n), got, want)
+	}
+}
+
+func TestDecomposeComplementShapes(t *testing.T) {
+	// Complement: path 1-2, isolated 0, cycle 3-4-5 missing edges forming
+	// the triangle complement... use explicit structure: complement edges
+	// {1,2} (path) and {3,4},{4,5},{3,5} (3-cycle).
+	g := newPairGraph(6,
+		[2]int32{1, 2},
+		[2]int32{3, 4}, [2]int32{4, 5}, [2]int32{3, 5})
+	d, ok := DecomposeComplement(g.verts(), g.adj)
+	if !ok {
+		t.Fatal("decomposition should succeed")
+	}
+	if len(d.F) != 1 || d.F[0] != 0 {
+		t.Errorf("F = %v, want [0]", d.F)
+	}
+	if len(d.Paths) != 1 || len(d.Paths[0]) != 2 {
+		t.Errorf("Paths = %v, want one path of two vertices", d.Paths)
+	}
+	if len(d.Cycles) != 1 || len(d.Cycles[0]) != 3 {
+		t.Errorf("Cycles = %v, want one 3-cycle", d.Cycles)
+	}
+}
+
+func TestDecomposeComplementRejectsDenseComplement(t *testing.T) {
+	// Vertex 0 missing edges to 1,2,3: complement degree 3.
+	g := newPairGraph(5, [2]int32{0, 1}, [2]int32{0, 2}, [2]int32{0, 3})
+	if _, ok := DecomposeComplement(g.verts(), g.adj); ok {
+		t.Error("complement degree 3 must be rejected")
+	}
+	if ok := EnumerateMaximal(g.verts(), g.adj, func([]int32) {}); ok {
+		t.Error("EnumerateMaximal must reject non-3-plex input")
+	}
+}
+
+func TestEnumerateMaximalPaperExamples(t *testing.T) {
+	// Figure 3: 2-plex on 6 vertices, complement edges (v3,v5) and (v4,v6)
+	// (0-based: (2,4),(3,5)). Expected 4 maximal cliques.
+	g2 := newPairGraph(6, [2]int32{2, 4}, [2]int32{3, 5})
+	got, ok := collect(func(emit func([]int32)) bool {
+		return EnumerateMaximal(g2.verts(), g2.adj, emit)
+	})
+	if !ok {
+		t.Fatal("2-plex should enumerate")
+	}
+	want := [][]int32{{0, 1, 2, 3}, {0, 1, 2, 5}, {0, 1, 3, 4}, {0, 1, 4, 5}}
+	sameCliques(t, "figure3", got, want)
+
+	// Figure 4: 3-plex, complement = path v1-v2-v3 and triangle v4-v5-v6
+	// (0-based: path 0-1-2, cycle 3-4-5). Expected 6 maximal cliques.
+	g3 := newPairGraph(6,
+		[2]int32{0, 1}, [2]int32{1, 2},
+		[2]int32{3, 4}, [2]int32{4, 5}, [2]int32{3, 5})
+	got3, ok := collect(func(emit func([]int32)) bool {
+		return EnumerateMaximal(g3.verts(), g3.adj, emit)
+	})
+	if !ok {
+		t.Fatal("3-plex should enumerate")
+	}
+	want3 := [][]int32{
+		{0, 2, 3}, {0, 2, 4}, {0, 2, 5},
+		{1, 3}, {1, 4}, {1, 5},
+	}
+	sameCliques(t, "figure4", got3, want3)
+}
+
+func TestEnumerateMaximalCliqueAndEmpty(t *testing.T) {
+	g := newPairGraph(5)
+	got, ok := collect(func(emit func([]int32)) bool {
+		return EnumerateMaximal(g.verts(), g.adj, emit)
+	})
+	if !ok || len(got) != 1 || len(got[0]) != 5 {
+		t.Errorf("clique should yield itself, got %v", got)
+	}
+	gotEmpty, ok := collect(func(emit func([]int32)) bool {
+		return EnumerateMaximal(nil, g.adj, emit)
+	})
+	if !ok || len(gotEmpty) != 1 || len(gotEmpty[0]) != 0 {
+		t.Errorf("empty vertex set should yield one empty clique, got %v", gotEmpty)
+	}
+}
+
+// randomPlex removes a random complement structure with max degree ≤ t-1
+// from a complete graph on n vertices.
+func randomPlex(rng *rand.Rand, n, t int) *pairGraph {
+	g := newPairGraph(n)
+	compDeg := make([]int, n)
+	tries := rng.Intn(2 * n)
+	for i := 0; i < tries; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || compDeg[u] >= t-1 || compDeg[v] >= t-1 {
+			continue
+		}
+		a, b := int32(u), int32(v)
+		if a > b {
+			a, b = b, a
+		}
+		if g.missing[[2]int32{a, b}] {
+			continue
+		}
+		g.missing[[2]int32{a, b}] = true
+		compDeg[u]++
+		compDeg[v]++
+	}
+	return g
+}
+
+func TestEnumerateMaximalMatchesBruteForceOnRandomPlexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(13)
+		tt := 2 + rng.Intn(2) // 2- or 3-plex
+		g := randomPlex(rng, n, tt)
+		got, ok := collect(func(emit func([]int32)) bool {
+			return EnumerateMaximal(g.verts(), g.adj, emit)
+		})
+		if !ok {
+			t.Fatalf("iter %d: enumeration rejected a valid %d-plex", iter, tt)
+		}
+		want := bruteMaximalCliques(g.verts(), g.adj)
+		sameCliques(t, fmt.Sprintf("iter %d", iter), got, want)
+	}
+}
+
+func TestEnumerate2PlexMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(14)
+		g := randomPlex(rng, n, 2)
+		got2, ok2 := collect(func(emit func([]int32)) bool {
+			return Enumerate2Plex(g.verts(), g.adj, emit)
+		})
+		if !ok2 {
+			t.Fatalf("iter %d: Enumerate2Plex rejected a 2-plex", iter)
+		}
+		gotG, okG := collect(func(emit func([]int32)) bool {
+			return EnumerateMaximal(g.verts(), g.adj, emit)
+		})
+		if !okG {
+			t.Fatalf("iter %d: general routine rejected a 2-plex", iter)
+		}
+		sameCliques(t, fmt.Sprintf("iter %d", iter), got2, gotG)
+	}
+}
+
+func TestEnumerate2PlexRejects3Plex(t *testing.T) {
+	g := newPairGraph(4, [2]int32{0, 1}, [2]int32{1, 2})
+	if ok := Enumerate2Plex(g.verts(), g.adj, func([]int32) {}); ok {
+		t.Error("Enumerate2Plex must reject a strict 3-plex")
+	}
+}
+
+func TestCountMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(12)
+		g := randomPlex(rng, n, 3)
+		count, ok := CountMaximal(g.verts(), g.adj)
+		if !ok {
+			t.Fatalf("iter %d: count rejected valid plex", iter)
+		}
+		got, _ := collect(func(emit func([]int32)) bool {
+			return EnumerateMaximal(g.verts(), g.adj, emit)
+		})
+		if count != int64(len(got)) {
+			t.Fatalf("iter %d: CountMaximal=%d but enumerated %d", iter, count, len(got))
+		}
+	}
+	if _, ok := CountMaximal([]int32{0, 1, 2, 3},
+		newPairGraph(4, [2]int32{0, 1}, [2]int32{0, 2}, [2]int32{0, 3}).adj); ok {
+		t.Error("CountMaximal must reject non-plex input")
+	}
+}

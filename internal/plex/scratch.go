@@ -1,0 +1,145 @@
+package plex
+
+// Scratch is a reusable, allocation-free emitter for the early-termination
+// construction. The caller decomposes the candidate graph's complement
+// itself (typically with bitset arithmetic — see internal/core), feeds the
+// parts through Begin/AddPath/AddCycle, and Emit streams every maximal
+// clique through a callback, reusing one buffer throughout.
+//
+// The enumeration logic is the same as EnumerateMaximal's (Algorithms 5–8):
+// each emitted clique is F plus one maximal independent set per complement
+// path and cycle.
+type Scratch struct {
+	walkBuf []int32   // concatenated component walks
+	comps   []compRef // component descriptors into walkBuf
+	clique  []int32   // the clique under construction
+	emit    func([]int32)
+}
+
+type compRef struct {
+	lo, hi int32
+	cycle  bool
+}
+
+// Begin resets the scratch with the complement-isolated vertices F (the
+// members of every maximal clique).
+func (s *Scratch) Begin(f []int32) {
+	s.walkBuf = s.walkBuf[:0]
+	s.comps = s.comps[:0]
+	s.clique = append(s.clique[:0], f...)
+}
+
+// AddPath registers a complement path component in walk order.
+func (s *Scratch) AddPath(walk []int32) {
+	lo := int32(len(s.walkBuf))
+	s.walkBuf = append(s.walkBuf, walk...)
+	s.comps = append(s.comps, compRef{lo, int32(len(s.walkBuf)), false})
+}
+
+// AddCycle registers a complement cycle component in walk order.
+func (s *Scratch) AddCycle(walk []int32) {
+	lo := int32(len(s.walkBuf))
+	s.walkBuf = append(s.walkBuf, walk...)
+	s.comps = append(s.comps, compRef{lo, int32(len(s.walkBuf)), true})
+}
+
+// Emit streams every maximal clique. The slice passed to the callback is
+// reused; callers must copy it to retain it.
+func (s *Scratch) Emit(emit func([]int32)) {
+	s.emit = emit
+	s.component(0)
+	s.emit = nil
+}
+
+// component recurses over the registered components, extending s.clique
+// with one maximal independent set choice per component.
+func (s *Scratch) component(ci int) {
+	if ci == len(s.comps) {
+		s.emit(s.clique)
+		return
+	}
+	c := s.comps[ci]
+	walk := s.walkBuf[c.lo:c.hi]
+	if c.cycle {
+		s.cycleChoices(walk, ci)
+	} else {
+		s.pathChoices(walk, ci)
+	}
+}
+
+// pathChoices enumerates the maximal independent sets of a path (Algorithm
+// 6): start at position 0 or 1, then repeatedly jump +2 or +3.
+func (s *Scratch) pathChoices(walk []int32, ci int) {
+	if len(walk) == 0 {
+		s.component(ci + 1)
+		return
+	}
+	mark := len(s.clique)
+	s.clique = append(s.clique, walk[0])
+	s.pathRec(walk, 0, ci)
+	s.clique = s.clique[:mark]
+	if len(walk) > 1 {
+		s.clique = append(s.clique, walk[1])
+		s.pathRec(walk, 1, ci)
+		s.clique = s.clique[:mark]
+	}
+}
+
+func (s *Scratch) pathRec(walk []int32, last, ci int) {
+	if last+2 >= len(walk) {
+		s.component(ci + 1)
+		return
+	}
+	mark := len(s.clique)
+	s.clique = append(s.clique, walk[last+2])
+	s.pathRec(walk, last+2, ci)
+	s.clique = s.clique[:mark]
+	if last+3 < len(walk) {
+		s.clique = append(s.clique, walk[last+3])
+		s.pathRec(walk, last+3, ci)
+		s.clique = s.clique[:mark]
+	}
+}
+
+// cycleChoices enumerates the maximal independent sets of a cycle
+// (Algorithm 7).
+func (s *Scratch) cycleChoices(walk []int32, ci int) {
+	k := len(walk)
+	mark := len(s.clique)
+	emitOne := func(vs ...int32) {
+		s.clique = append(s.clique, vs...)
+		s.component(ci + 1)
+		s.clique = s.clique[:mark]
+	}
+	switch k {
+	case 0, 1, 2:
+		// Degenerate inputs; treat as a path for robustness.
+		s.pathChoices(walk, ci)
+	case 3:
+		emitOne(walk[0])
+		emitOne(walk[1])
+		emitOne(walk[2])
+	case 4:
+		emitOne(walk[0], walk[2])
+		emitOne(walk[1], walk[3])
+	case 5:
+		emitOne(walk[0], walk[2])
+		emitOne(walk[0], walk[3])
+		emitOne(walk[1], walk[3])
+		emitOne(walk[1], walk[4])
+		emitOne(walk[2], walk[4])
+	default:
+		// Case 1: walk[0] in the set.
+		s.clique = append(s.clique, walk[0])
+		s.pathRec(walk[:k-1], 0, ci)
+		s.clique = s.clique[:mark]
+		// Case 2: walk[1] in, walk[0] out.
+		s.clique = append(s.clique, walk[1])
+		s.pathRec(walk[1:], 0, ci)
+		s.clique = s.clique[:mark]
+		// Case 3: walk[0], walk[1] out; maximality forces walk[k-1], walk[2].
+		s.clique = append(s.clique, walk[k-1], walk[2])
+		s.pathRec(walk[2:k-2], 0, ci)
+		s.clique = s.clique[:mark]
+	}
+}

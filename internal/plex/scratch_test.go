@@ -1,0 +1,116 @@
+package plex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scratchEnumerate drives a Scratch through the same decomposition the
+// allocation-free engine path uses, for comparison with EnumerateMaximal.
+func scratchEnumerate(verts []int32, adj Adjacency) ([][]int32, bool) {
+	d, ok := DecomposeComplement(verts, adj)
+	if !ok {
+		return nil, false
+	}
+	var s Scratch
+	s.Begin(d.F)
+	for _, p := range d.Paths {
+		s.AddPath(p)
+	}
+	for _, c := range d.Cycles {
+		s.AddCycle(c)
+	}
+	var out [][]int32
+	s.Emit(func(cl []int32) {
+		out = append(out, append([]int32(nil), cl...))
+	})
+	return out, true
+}
+
+func TestScratchMatchesEnumerateMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(14)
+		g := randomPlex(rng, n, 2+rng.Intn(2))
+		want, okW := collect(func(emit func([]int32)) bool {
+			return EnumerateMaximal(g.verts(), g.adj, emit)
+		})
+		got, okG := scratchEnumerate(g.verts(), g.adj)
+		if okW != okG {
+			t.Fatalf("iter %d: acceptance mismatch", iter)
+		}
+		if !okW {
+			continue
+		}
+		sameCliques(t, fmt.Sprintf("iter %d", iter), got, want)
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	// The same Scratch must be reusable across unrelated inputs.
+	var s Scratch
+	for round := 0; round < 3; round++ {
+		s.Begin([]int32{100})
+		s.AddPath([]int32{1, 2, 3})
+		count := 0
+		s.Emit(func(cl []int32) { count++ })
+		if count != 2 { // MIS of P3: {1,3}, {2}
+			t.Fatalf("round %d: %d cliques, want 2", round, count)
+		}
+	}
+}
+
+func TestScratchEmptyComponents(t *testing.T) {
+	var s Scratch
+	s.Begin([]int32{5, 6})
+	emitted := 0
+	s.Emit(func(cl []int32) {
+		emitted++
+		if len(cl) != 2 {
+			t.Fatalf("clique = %v, want the two F vertices", cl)
+		}
+	})
+	if emitted != 1 {
+		t.Fatalf("emitted %d cliques, want 1", emitted)
+	}
+}
+
+func TestScratchCycleCases(t *testing.T) {
+	for k := 3; k <= 10; k++ {
+		walk := make([]int32, k)
+		for i := range walk {
+			walk[i] = int32(i)
+		}
+		var s Scratch
+		s.Begin(nil)
+		s.AddCycle(walk)
+		var got [][]int32
+		s.Emit(func(cl []int32) {
+			got = append(got, append([]int32(nil), cl...))
+		})
+		want := MISOfCycle(walk)
+		sameCliques(t, fmt.Sprintf("C%d", k), got, want)
+	}
+}
+
+func TestScratchMultiComponentProduct(t *testing.T) {
+	var s Scratch
+	s.Begin([]int32{99})
+	s.AddPath([]int32{0, 1})     // 2 choices
+	s.AddCycle([]int32{2, 3, 4}) // 3 choices
+	s.AddPath([]int32{5})        // 1 choice
+	count := 0
+	s.Emit(func(cl []int32) {
+		count++
+		if len(cl) != 4 { // F + one per component
+			t.Fatalf("clique %v has wrong arity", cl)
+		}
+		if cl[0] != 99 {
+			t.Fatalf("F vertex missing from %v", cl)
+		}
+	})
+	if count != 6 {
+		t.Fatalf("product size %d, want 2*3*1=6", count)
+	}
+}

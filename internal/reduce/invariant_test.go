@@ -1,0 +1,101 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+// TestApplyReachesFixpoint: re-applying the reduction to a residual graph
+// must remove nothing further (the queue-driven pass already reached the
+// fixpoint).
+func TestApplyReachesFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 40; iter++ {
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		for _, maxDeg := range []int{2, 4} {
+			r1 := Apply(g, Options{MaxDegree: maxDeg})
+			r2 := Apply(r1.Residual, Options{MaxDegree: maxDeg})
+			if r2.NumRemoved != 0 {
+				t.Fatalf("iter %d maxDeg %d: second pass removed %d vertices",
+					iter, maxDeg, r2.NumRemoved)
+			}
+			if len(r2.Cliques) != 0 {
+				t.Fatalf("iter %d: second pass emitted %d cliques", iter, len(r2.Cliques))
+			}
+		}
+	}
+}
+
+// TestReductionCliquesAreMaximalInOriginal: every clique a rule emits must
+// be a maximal clique of the ORIGINAL graph, not merely of some residual.
+func TestReductionCliquesAreMaximalInOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		r := Apply(g, Options{MaxDegree: 5})
+		for _, c := range r.Cliques {
+			if !g.IsClique(c) {
+				t.Fatalf("iter %d: emitted set %v is not a clique", iter, c)
+			}
+			if ext := findExtensionIn(g, c); ext >= 0 {
+				t.Fatalf("iter %d: emitted clique %v extendable by %d", iter, c, ext)
+			}
+		}
+	}
+}
+
+func findExtensionIn(g *graph.Graph, c []int32) int32 {
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		in := false
+		for _, u := range c {
+			if u == v {
+				in = true
+				break
+			}
+		}
+		if in {
+			continue
+		}
+		all := true
+		for _, u := range c {
+			if !g.HasEdge(v, u) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestResidualMappingIsInjective: the residual relabelling must be a
+// bijection onto the surviving vertices, with consistent adjacency.
+func TestResidualMappingIsInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := randomGraph(rng, 80, 200)
+	r := Apply(g, Options{})
+	seen := map[int32]bool{}
+	for _, orig := range r.OrigID {
+		if seen[orig] {
+			t.Fatalf("vertex %d mapped twice", orig)
+		}
+		seen[orig] = true
+	}
+	if r.Residual.NumVertices()+r.NumRemoved != g.NumVertices() {
+		t.Fatalf("vertex accounting: %d residual + %d removed != %d",
+			r.Residual.NumVertices(), r.NumRemoved, g.NumVertices())
+	}
+	// Residual edges must exist in the original graph.
+	for e := 0; e < r.Residual.NumEdges(); e++ {
+		u, v := r.Residual.EdgeEndpoints(int32(e))
+		if !g.HasEdge(r.OrigID[u], r.OrigID[v]) {
+			t.Fatalf("residual edge (%d,%d) missing in original", u, v)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package verify provides independent reference implementations and
+// clique-set checking utilities used by the test suites of every other
+// package. The reference enumerator is deliberately written in a different
+// style (sorted-slice sets, no bit tricks, no orderings) from the optimised
+// engines in internal/core so that agreement between the two is meaningful.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+// MaximalCliques enumerates all maximal cliques of g with a plain
+// Bron–Kerbosch recursion using Tomita pivoting over sorted-slice sets.
+// Exponential in the worst case; intended for tests and small graphs.
+func MaximalCliques(g *graph.Graph) [][]int32 {
+	n := g.NumVertices()
+	C := make([]int32, n)
+	for i := range C {
+		C[i] = int32(i)
+	}
+	var out [][]int32
+	var S []int32
+	bk(g, S, C, nil, &out)
+	return out
+}
+
+func bk(g *graph.Graph, S, C, X []int32, out *[][]int32) {
+	if len(C) == 0 && len(X) == 0 {
+		*out = append(*out, append([]int32(nil), S...))
+		return
+	}
+	// Tomita pivot: u in C ∪ X maximising |N(u) ∩ C|.
+	var pivot int32 = -1
+	best := -1
+	for _, u := range C {
+		if c := countIntersect(g.Neighbors(u), C); c > best {
+			best, pivot = c, u
+		}
+	}
+	for _, u := range X {
+		if c := countIntersect(g.Neighbors(u), C); c > best {
+			best, pivot = c, u
+		}
+	}
+	branch := subtractSorted(C, g.Neighbors(pivot))
+	for _, v := range branch {
+		newC := intersectSorted(C, g.Neighbors(v))
+		newX := intersectSorted(X, g.Neighbors(v))
+		bk(g, append(S, v), newC, newX, out)
+		C = deleteSorted(C, v)
+		X = insertSorted(X, v)
+	}
+}
+
+func countIntersect(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func subtractSorted(a, b []int32) []int32 {
+	var out []int32
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func deleteSorted(a []int32, x int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i < len(a) && a[i] == x {
+		out := make([]int32, 0, len(a)-1)
+		out = append(out, a[:i]...)
+		return append(out, a[i+1:]...)
+	}
+	return a
+}
+
+func insertSorted(a []int32, x int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	out := make([]int32, 0, len(a)+1)
+	out = append(out, a[:i]...)
+	out = append(out, x)
+	return append(out, a[i:]...)
+}
+
+// BruteForceMaximalCliques enumerates maximal cliques by subset search.
+// Only usable for graphs with at most ~20 vertices.
+func BruteForceMaximalCliques(g *graph.Graph) [][]int32 {
+	n := g.NumVertices()
+	if n > 22 {
+		panic(fmt.Sprintf("verify: brute force limited to 22 vertices, got %d", n))
+	}
+	isClique := func(mask uint32) bool {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<j) != 0 && !g.HasEdge(int32(i), int32(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var out [][]int32
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		if !isClique(mask) {
+			continue
+		}
+		maximal := true
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 && isClique(mask|1<<j) {
+				maximal = false
+				break
+			}
+		}
+		if !maximal {
+			continue
+		}
+		var c []int32
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				c = append(c, int32(i))
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Canonicalize sorts each clique ascending and the clique list
+// lexicographically, returning a fresh slice.
+func Canonicalize(cliques [][]int32) [][]int32 {
+	out := make([][]int32, len(cliques))
+	for i, c := range cliques {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		out[i] = cc
+	}
+	sort.Slice(out, func(a, b int) bool { return lessSlice(out[a], out[b]) })
+	return out
+}
+
+func lessSlice(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Diff compares two clique sets up to ordering. It returns "" when they are
+// equal and a human-readable description of the first difference otherwise.
+func Diff(got, want [][]int32) string {
+	cg, cw := Canonicalize(got), Canonicalize(want)
+	if len(cg) != len(cw) {
+		return fmt.Sprintf("clique count mismatch: got %d, want %d\ngot:  %v\nwant: %v",
+			len(cg), len(cw), preview(cg), preview(cw))
+	}
+	for i := range cg {
+		if !equalSlice(cg[i], cw[i]) {
+			return fmt.Sprintf("clique %d mismatch: got %v, want %v", i, cg[i], cw[i])
+		}
+	}
+	return ""
+}
+
+func preview(cs [][]int32) [][]int32 {
+	if len(cs) > 12 {
+		return cs[:12]
+	}
+	return cs
+}
+
+func equalSlice(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAllMaximal validates that cliques is exactly a set of distinct
+// maximal cliques of g (each member is a clique, each is maximal, and there
+// are no duplicates). It does NOT check completeness; combine with Diff
+// against a reference for that.
+func CheckAllMaximal(g *graph.Graph, cliques [][]int32) error {
+	seen := make(map[string]bool, len(cliques))
+	for _, c := range cliques {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		key := fmt.Sprint(cc)
+		if seen[key] {
+			return fmt.Errorf("duplicate clique %v", cc)
+		}
+		seen[key] = true
+		for i := range cc {
+			if i > 0 && cc[i] == cc[i-1] {
+				return fmt.Errorf("repeated vertex in clique %v", cc)
+			}
+		}
+		if !g.IsClique(cc) {
+			return fmt.Errorf("set %v is not a clique", cc)
+		}
+		if ext := findExtension(g, cc); ext >= 0 {
+			return fmt.Errorf("clique %v is not maximal: vertex %d extends it", cc, ext)
+		}
+	}
+	return nil
+}
+
+func findExtension(g *graph.Graph, c []int32) int32 {
+	if len(c) == 0 {
+		if g.NumVertices() > 0 {
+			return 0
+		}
+		return -1
+	}
+	min := c[0]
+	for _, v := range c[1:] {
+		if g.Degree(v) < g.Degree(min) {
+			min = v
+		}
+	}
+	for _, z := range g.Neighbors(min) {
+		inC := false
+		for _, u := range c {
+			if u == z {
+				inC = true
+				break
+			}
+		}
+		if inC {
+			continue
+		}
+		ok := true
+		for _, u := range c {
+			if u != min && !g.HasEdge(z, u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return z
+		}
+	}
+	return -1
+}

@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// moonMoser builds the complete 3-partite graph K_{3,3,...}: s parts of size
+// 3, which has exactly 3^s maximal cliques.
+func moonMoser(s int) *graph.Graph {
+	n := 3 * s
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i/3 != j/3 {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMaximalCliquesKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.NewBuilder(0).MustBuild(), 1}, // the empty clique
+		{"isolated3", graph.NewBuilder(3).MustBuild(), 3},
+		{"K4", complete(4), 1},
+		{"moonmoser2", moonMoser(2), 9},
+		{"moonmoser3", moonMoser(3), 27},
+	}
+	for _, c := range cases {
+		got := MaximalCliques(c.g)
+		if len(got) != c.want {
+			t.Errorf("%s: %d cliques, want %d", c.name, len(got), c.want)
+		}
+		if c.g.NumVertices() > 0 {
+			if err := CheckAllMaximal(c.g, got); err != nil {
+				t.Errorf("%s: %v", c.name, err)
+			}
+		}
+	}
+}
+
+func TestReferenceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(12)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		got := MaximalCliques(g)
+		want := BruteForceMaximalCliques(g)
+		if d := Diff(got, want); d != "" {
+			t.Fatalf("iter %d (n=%d m=%d): %s", iter, n, g.NumEdges(), d)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := [][]int32{{2, 1}, {3}}
+	b := [][]int32{{1, 2}, {3}}
+	if d := Diff(a, b); d != "" {
+		t.Errorf("order-insensitive compare failed: %s", d)
+	}
+	if d := Diff(a, [][]int32{{1, 2}}); d == "" {
+		t.Error("count mismatch not detected")
+	}
+	if d := Diff(a, [][]int32{{1, 2}, {4}}); d == "" {
+		t.Error("content mismatch not detected")
+	}
+}
+
+func TestCheckAllMaximalCatchesErrors(t *testing.T) {
+	g := complete(3) // triangle
+	if err := CheckAllMaximal(g, [][]int32{{0, 1, 2}}); err != nil {
+		t.Errorf("valid clique flagged: %v", err)
+	}
+	if err := CheckAllMaximal(g, [][]int32{{0, 1}}); err == nil {
+		t.Error("non-maximal clique not detected")
+	}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g2 := b.MustBuild()
+	if err := CheckAllMaximal(g2, [][]int32{{0, 1, 2}}); err == nil {
+		t.Error("non-clique not detected")
+	}
+	if err := CheckAllMaximal(g2, [][]int32{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate not detected")
+	}
+	if err := CheckAllMaximal(g2, [][]int32{{0, 0, 1}}); err == nil {
+		t.Error("repeated vertex not detected")
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	in := [][]int32{{3, 1}, {2}, {1, 0}}
+	out := Canonicalize(in)
+	if len(out) != 3 || out[0][0] != 0 || out[1][0] != 1 || out[2][0] != 2 {
+		t.Errorf("Canonicalize = %v", out)
+	}
+	// Input must be untouched.
+	if in[0][0] != 3 {
+		t.Error("Canonicalize mutated its input")
+	}
+}
+
+func TestBruteForcePanicsOnLargeInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized brute force input")
+		}
+	}()
+	BruteForceMaximalCliques(graph.NewBuilder(30).MustBuild())
+}
