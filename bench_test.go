@@ -6,6 +6,8 @@ package hbbmc_test
 // datasets (the full 16-dataset sweep is `go run ./cmd/mcebench -all`).
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -163,6 +165,90 @@ func BenchmarkFigure5a_ER(b *testing.B)      { figGraphs(); benchFigure(b, erSma
 func BenchmarkFigure5b_BA(b *testing.B)      { figGraphs(); benchFigure(b, baSmall) }
 func BenchmarkFigure5c_ERrho40(b *testing.B) { figGraphs(); benchFigure(b, erDense) }
 func BenchmarkFigure5d_BArho40(b *testing.B) { figGraphs(); benchFigure(b, baDense) }
+
+// --- parallel scheduler -------------------------------------------------------
+
+// withProcs raises GOMAXPROCS to workers for one benchmark, so the wN
+// variants are not silently clamped (and thus mislabeled) on machines
+// with fewer cores.
+func withProcs(b *testing.B, workers int) {
+	b.Helper()
+	if old := runtime.GOMAXPROCS(0); old < workers {
+		runtime.GOMAXPROCS(workers)
+		b.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// runCountParallel is runCount on the parallel driver.
+func runCountParallel(b *testing.B, g *hbbmc.Graph, opts hbbmc.Options, workers int) {
+	b.Helper()
+	withProcs(b, workers)
+	b.ReportAllocs()
+	var cliques int64
+	for i := 0; i < b.N; i++ {
+		n, _, err := hbbmc.CountParallel(g, opts, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cliques = n
+	}
+	b.ReportMetric(float64(cliques), "cliques")
+}
+
+// BenchmarkParallelScaling sweeps worker counts over the skewed stand-in
+// graphs; compare w1 (sequential fallback) against w2..w8 for the
+// scheduler's speedup.
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, ds := range []string{"NA", "WE"} {
+		g := benchGraph(b, ds)
+		for _, cfg := range []struct {
+			name string
+			opts hbbmc.Options
+		}{
+			{"HBBMCpp", hbbmc.Options{Algorithm: hbbmc.HBBMC, ET: 3, GR: true}},
+			{"RDegen", hbbmc.Options{Algorithm: hbbmc.BKDegen, GR: true}},
+		} {
+			for _, w := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/w%d", ds, cfg.name, w), func(b *testing.B) {
+					runCountParallel(b, g, cfg.opts, w)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelDeepSwitch exercises the newly parallel SwitchDepth > 1
+// hybrid, which previously fell back to the sequential driver.
+func BenchmarkParallelDeepSwitch(b *testing.B) {
+	g := benchGraph(b, "NA")
+	opts := hbbmc.Options{Algorithm: hbbmc.HBBMC, SwitchDepth: 2, ET: 3, GR: true}
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { runCountParallel(b, g, opts, w) })
+	}
+}
+
+// BenchmarkParallelEmitBatch measures the emit path under contention: a
+// live callback at 8 workers with per-clique locking (batch=1) vs the
+// default batched flushing.
+func BenchmarkParallelEmitBatch(b *testing.B) {
+	g := benchGraph(b, "NA")
+	for _, batch := range []int{1, 256} {
+		opts := hbbmc.Options{Algorithm: hbbmc.HBBMC, ET: 3, GR: true, EmitBatchSize: batch}
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			withProcs(b, 8)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var n int64
+				if _, err := hbbmc.EnumerateParallel(g, opts, 8, func([]int32) { n++ }); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no cliques emitted")
+				}
+			}
+		})
+	}
+}
 
 // --- substrate micro-benchmarks ---------------------------------------------
 

@@ -4,10 +4,15 @@
 //
 //	mce -in graph.txt [-format edgelist|dimacs] [-algo hbbmc] [-et 3] [-gr]
 //	    [-d 1] [-edgeorder truss] [-inner pivot] [-out cliques.txt] [-quiet]
+//	    [-workers 1] [-emitbatch 0] [-chunk 0]
 //
 // The input is an undirected edge list ("u v" per line, '#' comments) or a
 // DIMACS clique file. Each maximal clique is printed as one line of vertex
 // ids; -quiet suppresses clique output and reports statistics only.
+// -workers 0 enumerates on all cores (-workers N on N); parallel runs
+// report cliques in nondeterministic order. -emitbatch and -chunk tune the
+// parallel scheduler's emit batching and work-queue chunking (0 = adaptive
+// defaults).
 package main
 
 import (
@@ -59,6 +64,9 @@ func main() {
 		out       = flag.String("out", "", "write cliques to this file (default stdout)")
 		quiet     = flag.Bool("quiet", false, "suppress clique output, print statistics only")
 		profile   = flag.Bool("profile", false, "print the graph's structural profile (δ, τ, ρ, h)")
+		workers   = flag.Int("workers", 1, "worker goroutines (1 = sequential, 0 = all cores)")
+		emitBatch = flag.Int("emitbatch", 0, "cliques buffered per worker before a batched emit flush (0 = default)")
+		chunk     = flag.Int("chunk", 0, "fixed branches per work-queue pop (0 = adaptive guided chunking)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -109,14 +117,24 @@ func main() {
 		}
 		fmt.Fprintln(w)
 	}
-	stats, err := hbbmc.Enumerate(g, opts, emit)
+	var stats *hbbmc.Stats
+	if *workers == 1 {
+		stats, err = hbbmc.Enumerate(g, opts, emit)
+	} else {
+		opts.EmitBatchSize = *emitBatch
+		opts.ParallelChunkSize = *chunk
+		stats, err = hbbmc.EnumerateParallel(g, opts, *workers, emit)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d maximal cliques (ω=%d) in %v (ordering %v, enumeration %v); %d branches, %d calls, ET %d/%d\n",
+	fmt.Fprintf(os.Stderr, "%s: %d maximal cliques (ω=%d) in %v (ordering %v, enumeration %v); %d branches, %d calls, ET %d/%d, workers=%d\n",
 		*algo, stats.Cliques, stats.MaxCliqueSize, time.Since(start).Round(time.Millisecond),
 		stats.OrderingTime.Round(time.Millisecond), stats.EnumTime.Round(time.Millisecond),
-		stats.TopBranches, stats.Calls, stats.EarlyTerminations, stats.PlexBranches)
+		stats.TopBranches, stats.Calls, stats.EarlyTerminations, stats.PlexBranches, stats.Workers)
+	if stats.ParallelFallback != "" {
+		fmt.Fprintf(os.Stderr, "mce: parallel run fell back to the sequential driver: %s\n", stats.ParallelFallback)
+	}
 }
 
 func buildOptions(algo string, et int, gr bool, depth int, edgeOrder, inner string) (hbbmc.Options, error) {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/graphmining/hbbmc/internal/benchharness"
@@ -30,10 +31,14 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
 		reps     = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
 		seeds    = flag.Int("seeds", 3, "random graphs per figure sweep point")
+		workers  = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
 	)
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
-	cfg := benchharness.Config{Reps: *reps}
+	cfg := benchharness.Config{Reps: *reps, Workers: *workers}
 	if *datasets != "" {
 		for _, d := range strings.Split(*datasets, ",") {
 			cfg.Datasets = append(cfg.Datasets, strings.TrimSpace(d))
@@ -41,6 +46,7 @@ func main() {
 	}
 	fc := benchharness.DefaultFigureConfig()
 	fc.Seeds = *seeds
+	fc.Workers = *workers
 
 	tables := map[int]func(benchharness.Config) (*benchharness.Table, error){
 		1: benchharness.Table1,

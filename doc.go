@@ -21,6 +21,26 @@
 // threshold t, hybrid switch depth d, edge-ordering choice, inner vertex
 // recursion) are all exposed.
 //
+// # Parallel enumeration
+//
+// EnumerateParallel distributes the independent top-level branches of the
+// ordered frameworks over worker goroutines. Scheduling is dynamic: an
+// atomic work queue hands out chunks of branches with guided sizing —
+// large chunks while every worker is busy, single branches toward the
+// skewed tail of the truss/degeneracy order — so stragglers cannot pin the
+// run to one slow worker the way static striding does. Every ordered
+// algorithm parallelises, including HBBMC at any SwitchDepth; only the
+// whole-graph BK/BKPivot fall back to the sequential driver, and
+// Stats.Workers / Stats.ParallelFallback record what actually ran.
+//
+// The emit contract under parallelism: the callback is never invoked
+// concurrently, but cliques arrive in nondeterministic order and are
+// delivered in per-worker batches (Options.EmitBatchSize, default 256), so
+// a clique may be reported slightly after its discovery. As in the
+// sequential driver, the slice passed to emit is reused — copy it to
+// retain it. Options.Workers and Options.ParallelChunkSize tune the
+// worker count and work-queue chunking.
+//
 // # Structure
 //
 // The root package is a thin facade over the internal engine:

@@ -1,0 +1,3 @@
+module github.com/graphmining/hbbmc
+
+go 1.22

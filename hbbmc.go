@@ -158,12 +158,30 @@ func GenerateSBM(communities, size int, pIn, pOut float64, seed int64) *Graph {
 func GenerateMoonMoser(s int) *Graph { return gen.MoonMoser(s) }
 
 // EnumerateParallel is Enumerate with the top-level branches distributed
-// over up to `workers` goroutines (0 = GOMAXPROCS). Cliques are reported in
-// nondeterministic order; emit is never called concurrently. Whole-graph
-// algorithms (BK, BKPivot) and hybrid runs with SwitchDepth > 1 fall back
-// to the sequential driver.
+// over up to `workers` goroutines (0 = Options.Workers, then GOMAXPROCS).
+// A dynamic work queue hands out branch chunks — large while the queue is
+// full, single branches toward the skewed tail of the ordering — and each
+// worker buffers its cliques, flushing batches of Options.EmitBatchSize to
+// emit under one lock. emit is therefore never called concurrently, but
+// cliques arrive in nondeterministic order and slightly after discovery.
+//
+// Every ordered algorithm parallelises, including HBBMC at any
+// SwitchDepth; only whole-graph BK/BKPivot fall back to the sequential
+// driver. Stats.Workers records the effective worker count and
+// Stats.ParallelFallback the fallback reason, if any.
 func EnumerateParallel(g *Graph, opts Options, workers int, emit func(clique []int32)) (*Stats, error) {
 	return core.EnumerateParallel(g, opts, workers, emit)
+}
+
+// CountParallel is Count on the parallel driver: it returns the number of
+// maximal cliques without materialising them, using up to `workers`
+// goroutines (0 = Options.Workers, then GOMAXPROCS).
+func CountParallel(g *Graph, opts Options, workers int) (int64, *Stats, error) {
+	stats, err := core.EnumerateParallel(g, opts, workers, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return stats.Cliques, stats, nil
 }
 
 // ListKCliques emits every k-clique of g exactly once via the edge-oriented

@@ -23,6 +23,9 @@ type FigureConfig struct {
 	FixedN int
 	// Seeds is the number of random graphs averaged per point (paper: 10).
 	Seeds int
+	// Workers runs every cell through the parallel driver with this many
+	// worker goroutines. 0 or 1 = sequential (the paper's setting).
+	Workers int
 }
 
 // DefaultFigureConfig returns the laptop-scale sweep: the same 100× size
@@ -103,7 +106,7 @@ func sweep(fc FigureConfig, model string, points []int, mkGraph func(p int, seed
 			deltaSum += order.DegeneracyOrdering(g).Value
 			tauSum += truss.Decompose(g).Tau
 			for i, o := range options {
-				c, err := run(g, o.opts, 1)
+				c, err := run(g, o.opts, 1, fc.Workers)
 				if err != nil {
 					return nil, fmt.Errorf("%s n=%d %s: %v", model, p, o.name, err)
 				}

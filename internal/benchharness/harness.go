@@ -28,6 +28,9 @@ type Config struct {
 	// Reps is the number of timing repetitions per cell; the minimum is
 	// reported. 0 = 1.
 	Reps int
+	// Workers runs every cell through the parallel driver with this many
+	// worker goroutines. 0 or 1 = sequential (the paper's setting).
+	Workers int
 }
 
 func (c Config) reps() int {
@@ -89,13 +92,20 @@ type cell struct {
 	stats   *core.Stats
 }
 
-// run times core.Count under opts, repeating cfg.reps() times and keeping
-// the fastest run (standard benchmarking practice for cold-cache noise).
-func run(g *graph.Graph, opts core.Options, reps int) (cell, error) {
+// run times core.Count under opts (or the parallel driver when workers >
+// 1), repeating reps times and keeping the fastest run (standard
+// benchmarking practice for cold-cache noise).
+func run(g *graph.Graph, opts core.Options, reps, workers int) (cell, error) {
 	best := cell{seconds: math.Inf(1)}
 	for i := 0; i < reps; i++ {
 		t0 := time.Now()
-		_, stats, err := core.Count(g, opts)
+		var stats *core.Stats
+		var err error
+		if workers > 1 {
+			stats, err = core.EnumerateParallel(g, opts, workers, nil)
+		} else {
+			_, stats, err = core.Count(g, opts)
+		}
 		if err != nil {
 			return cell{}, err
 		}
@@ -133,7 +143,7 @@ func runGrid(cfg Config, options []namedOption, mkRow func(ds string, cells []ce
 		g := spec.Build()
 		cells := make([]cell, len(options))
 		for i, opt := range options {
-			c, err := run(g, opt.opts, cfg.reps())
+			c, err := run(g, opt.opts, cfg.reps(), cfg.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %v", spec.Name, opt.name, err)
 			}

@@ -18,4 +18,8 @@ var (
 	// ablateXDomination disables the exclusion-dominator subtree prune in
 	// the pivot recursion.
 	ablateXDomination bool
+	// ablateStaticStride reverts EnumerateParallel to the legacy static
+	// modulo striding with one emit-lock round-trip per clique, the
+	// baseline the dynamic scheduler and batched emit are measured against.
+	ablateStaticStride bool
 )

@@ -7,6 +7,8 @@ package core
 // (pure-paper) code paths.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/graphmining/hbbmc/internal/gen"
@@ -46,6 +48,47 @@ func BenchmarkAblationNoTinyBranch(b *testing.B)     { runAblation(b, &ablateTin
 func BenchmarkAblationNoMaskFreeCheck(b *testing.B)  { runAblation(b, &ablateMaskFree) }
 func BenchmarkAblationNoMaskDropping(b *testing.B)   { runAblation(b, &ablateMaskDrop) }
 func BenchmarkAblationNoXDominationCut(b *testing.B) { runAblation(b, &ablateXDomination) }
+
+// runParallelAblation measures EnumerateParallel end to end — emit
+// callback included, so lock traffic counts — on a skewed hub-heavy graph
+// where static striding suffers its worst load imbalance.
+func runParallelAblation(b *testing.B, static bool, workers int) {
+	if old := runtime.GOMAXPROCS(0); old < workers {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+	}
+	g := gen.BA(30000, 24, 99)
+	opts := Options{Algorithm: HBBMC, ET: 3, GR: true}
+	want, _, err := Count(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if static {
+		ablateStaticStride = true
+		defer func() { ablateStaticStride = false }()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got int64
+		stats, err := EnumerateParallel(g, opts, workers, func([]int32) { got++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want || stats.Cliques != want {
+			b.Fatalf("found %d cliques (stats %d), want %d", got, stats.Cliques, want)
+		}
+	}
+}
+
+// BenchmarkParallelScheduler compares the dynamic work queue plus batched
+// emit ("dynamic") against the seed's static modulo striding with a
+// per-clique emit lock ("staticstride").
+func BenchmarkParallelScheduler(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("dynamic/w%d", workers), func(b *testing.B) { runParallelAblation(b, false, workers) })
+		b.Run(fmt.Sprintf("staticstride/w%d", workers), func(b *testing.B) { runParallelAblation(b, true, workers) })
+	}
+}
 
 // TestAblatedPathsStillCorrect runs the cross-validation grid with every
 // optimisation disabled — the closest configuration to the paper's plain

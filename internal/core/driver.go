@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"github.com/graphmining/hbbmc/internal/graph"
@@ -20,7 +19,7 @@ func Enumerate(g *graph.Graph, opts Options, emit func([]int32)) (*Stats, error)
 	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{}
+	stats := &Stats{Workers: 1}
 	prep := time.Now()
 
 	var red *reduce.Result
@@ -43,25 +42,7 @@ func Enumerate(g *graph.Graph, opts Options, emit func([]int32)) (*Stats, error)
 
 	res := red.Residual
 	e := newEngine(res, red, opts, stats, emit)
-
-	switch opts.Algorithm {
-	case BK:
-		e.inner = innerPlain
-	case BKPivot, BKDegen, BKDegree:
-		e.inner = InnerPivot
-	case BKRef:
-		e.inner = InnerRef
-	case BKRcd:
-		e.inner = InnerRcd
-	case BKFac:
-		e.inner = InnerFac
-	case HBBMC:
-		e.inner = opts.Inner
-		e.switchDepth = opts.SwitchDepth
-	case EBBMC:
-		e.inner = InnerPivot // unused: the recursion stays edge-oriented
-		e.switchDepth = math.MaxInt32
-	}
+	configureEngine(e, opts)
 
 	switch opts.Algorithm {
 	case BK, BKPivot:

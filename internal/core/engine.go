@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"github.com/graphmining/hbbmc/internal/bitset"
 	"github.com/graphmining/hbbmc/internal/graph"
 	"github.com/graphmining/hbbmc/internal/plex"
@@ -10,6 +12,11 @@ import (
 
 // innerPlain is the internal sentinel for the pivot-less BK recursion.
 const innerPlain InnerAlgorithm = -1
+
+// neverSwitch is the switchDepth sentinel that keeps EBBMC's recursion
+// edge-oriented forever; it exceeds any reachable recursion depth. Both
+// drivers must use it so they cannot drift apart.
+const neverSwitch = math.MaxInt32
 
 // engine holds the state of one enumeration run over the residual graph.
 // Each top-level branch installs a local universe (a relabelled vertex set

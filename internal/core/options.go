@@ -150,6 +150,23 @@ type Options struct {
 	// MaxWholeGraphVertices guards the whole-graph algorithms (BK, BKPivot),
 	// whose branch universe is the entire vertex set; 0 = default 20000.
 	MaxWholeGraphVertices int
+
+	// Workers is the default worker count for EnumerateParallel when its
+	// workers argument is ≤ 0 (0 = GOMAXPROCS). Ignored by the sequential
+	// Enumerate.
+	Workers int
+	// EmitBatchSize is the number of cliques each parallel worker buffers
+	// before flushing them to the user callback in one locked batch
+	// (0 = default 256, 1 = flush every clique). Larger batches cut lock
+	// traffic but delay delivery; the callback is never called
+	// concurrently either way. Ignored by the sequential Enumerate.
+	EmitBatchSize int
+	// ParallelChunkSize fixes the number of top-level branches a parallel
+	// worker claims per work-queue pop. 0 (the default) selects guided
+	// chunking: chunks start at remaining/(workers·4) and decay to single
+	// branches toward the tail of the ordering, where branch costs are
+	// most skewed. Ignored by the sequential Enumerate.
+	ParallelChunkSize int
 }
 
 // Defaults returns the paper's HBBMC++ configuration: hybrid branching with
@@ -178,6 +195,18 @@ func (o Options) normalized() (Options, error) {
 	}
 	if o.MaxWholeGraphVertices == 0 {
 		o.MaxWholeGraphVertices = 20000
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.EmitBatchSize < 0 {
+		return o, fmt.Errorf("core: negative EmitBatchSize %d", o.EmitBatchSize)
+	}
+	if o.EmitBatchSize == 0 {
+		o.EmitBatchSize = 256
+	}
+	if o.ParallelChunkSize < 0 {
+		return o, fmt.Errorf("core: negative ParallelChunkSize %d", o.ParallelChunkSize)
 	}
 	if _, ok := algorithmNames[o.Algorithm]; !ok {
 		return o, fmt.Errorf("core: unknown algorithm %d", int(o.Algorithm))

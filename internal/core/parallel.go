@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -12,20 +13,35 @@ import (
 )
 
 // EnumerateParallel runs the configured algorithm with the top-level
-// branches distributed over min(workers, GOMAXPROCS) goroutines. It is an
-// extension beyond the paper's (sequential) evaluation, exploiting the same
-// property the parallel MCE literature does: top-level branches of the
-// ordered frameworks are independent.
+// branches distributed over worker goroutines. It is an extension beyond
+// the paper's (sequential) evaluation, exploiting the same property the
+// parallel MCE literature does: top-level branches of the ordered
+// frameworks are independent.
 //
-// emit is called from multiple goroutines but never concurrently (an
-// internal mutex serialises it); the clique order is nondeterministic.
-// Only the ordered algorithms parallelise (BKRef, BKDegen, BKDegree, BKRcd,
-// BKFac, EBBMC, HBBMC with SwitchDepth 1); whole-graph BK/BKPivot and deep
-// hybrid switches fall back to the sequential driver.
+// Branches are handed out through a dynamic work queue (an atomic cursor
+// with guided chunking: large chunks while the queue is full, single
+// branches toward the skewed tail of the truss/degeneracy order), so a
+// worker that draws a cheap region keeps pulling work instead of idling —
+// the load imbalance that static striding suffers on power-law graphs.
+//
+// emit is called from multiple goroutines but never concurrently; each
+// worker buffers its cliques and flushes them in batches under one lock
+// (Options.EmitBatchSize), so the clique order is nondeterministic and a
+// clique may be reported a short time after it was found. Workers resolve
+// as workers arg > Options.Workers > GOMAXPROCS, clamped to GOMAXPROCS.
+//
+// All ordered algorithms parallelise, including HBBMC at any SwitchDepth;
+// only the whole-graph algorithms (BK, BKPivot) consist of a single
+// top-level branch and fall back to the sequential driver. The effective
+// worker count and any fallback reason are recorded in Stats.Workers and
+// Stats.ParallelFallback.
 func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]int32)) (*Stats, error) {
 	opts, err := opts.normalized()
 	if err != nil {
 		return nil, err
+	}
+	if workers <= 0 {
+		workers = opts.Workers
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,13 +49,16 @@ func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]in
 	if workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sequentialOnly := opts.Algorithm == BK || opts.Algorithm == BKPivot ||
-		(opts.Algorithm == HBBMC && opts.SwitchDepth > 1)
-	if workers == 1 || sequentialOnly {
-		return Enumerate(g, opts, emit)
+	if reason := sequentialFallback(opts, workers); reason != "" {
+		stats, err := Enumerate(g, opts, emit)
+		if err != nil {
+			return nil, err
+		}
+		stats.ParallelFallback = reason
+		return stats, nil
 	}
 
-	stats := &Stats{}
+	stats := &Stats{Workers: workers}
 	prep := time.Now()
 	var red *reduce.Result
 	if opts.GR {
@@ -91,43 +110,70 @@ func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]in
 	stats.OrderingTime = time.Since(prep)
 	enum := time.Now()
 
-	var emitMu sync.Mutex
-	mkEmit := func() func([]int32) {
-		if emit == nil {
-			return nil
-		}
-		return func(c []int32) {
-			emitMu.Lock()
-			emit(c)
-			emitMu.Unlock()
-		}
+	edgeDriven := opts.Algorithm == EBBMC || opts.Algorithm == HBBMC
+	items := len(vertOrd)
+	if edgeDriven {
+		items = len(eo.Order)
 	}
+	queue := newWorkQueue(items, workers, opts.ParallelChunkSize)
+	sink := &emitSink{emit: emit}
 
 	workerStats := make([]*Stats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ws := &Stats{}
 		workerStats[w] = ws
-		e := newEngine(res, red, opts, ws, mkEmit())
+		var batcher *emitBatcher
+		var workerEmit func([]int32)
+		if emit != nil {
+			if ablateStaticStride {
+				// Seed behavior under ablation: one lock round-trip per clique.
+				workerEmit = func(c []int32) {
+					sink.mu.Lock()
+					sink.emit(c)
+					sink.mu.Unlock()
+				}
+			} else {
+				batcher = newEmitBatcher(sink, opts.EmitBatchSize)
+				workerEmit = batcher.add
+			}
+		}
+		e := newEngine(res, red, opts, ws, workerEmit)
 		configureEngine(e, opts)
 		e.eo, e.inc = eo, inc
-		stride, offset := workers, w
+		offset := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			switch opts.Algorithm {
-			case BKRef, BKDegen, BKDegree, BKRcd, BKFac:
-				e.runVertexOrderedSlice(vertOrd, vertPos, offset, stride)
-			case EBBMC, HBBMC:
-				e.runEdgeOrderedSlice(offset, stride)
+			if ablateStaticStride {
+				if edgeDriven {
+					e.runEdgeOrderedRange(offset, items, workers)
+				} else {
+					e.runVertexOrderedRange(vertOrd, vertPos, offset, items, workers)
+				}
+			} else {
+				for {
+					begin, end, ok := queue.next()
+					if !ok {
+						break
+					}
+					if edgeDriven {
+						e.runEdgeOrderedRange(begin, end, 1)
+					} else {
+						e.runVertexOrderedRange(vertOrd, vertPos, begin, end, 1)
+					}
+				}
+			}
+			if batcher != nil {
+				batcher.flush()
 			}
 		}()
 	}
 	wg.Wait()
 	// Isolated vertices of the edge-ordered drivers are handled once,
-	// outside the workers.
-	if opts.Algorithm == EBBMC || opts.Algorithm == HBBMC {
-		e := newEngine(res, red, opts, stats, mkEmit())
+	// outside the workers; with the workers joined, emit needs no lock.
+	if edgeDriven {
+		e := newEngine(res, red, opts, stats, emit)
 		configureEngine(e, opts)
 		e.eo, e.inc = eo, inc
 		for v := int32(0); v < int32(res.NumVertices()); v++ {
@@ -140,12 +186,25 @@ func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]in
 	for _, ws := range workerStats {
 		stats.merge(ws)
 	}
+	stats.EmitBatches = sink.batches.Load()
 	stats.EnumTime = time.Since(enum)
 	return stats, nil
 }
 
-// configureEngine applies the per-algorithm recursion selection shared with
-// the sequential driver.
+// sequentialFallback returns the reason EnumerateParallel must delegate to
+// the sequential driver, or "" when the parallel scheduler applies.
+func sequentialFallback(opts Options, workers int) string {
+	if opts.Algorithm == BK || opts.Algorithm == BKPivot {
+		return fmt.Sprintf("%v runs as a single whole-graph branch", opts.Algorithm)
+	}
+	if workers == 1 {
+		return "single worker"
+	}
+	return ""
+}
+
+// configureEngine applies the per-algorithm recursion selection shared by
+// the sequential and parallel drivers.
 func configureEngine(e *engine, opts Options) {
 	switch opts.Algorithm {
 	case BK:
@@ -162,15 +221,17 @@ func configureEngine(e *engine, opts Options) {
 		e.inner = opts.Inner
 		e.switchDepth = opts.SwitchDepth
 	case EBBMC:
-		e.inner = InnerPivot
-		e.switchDepth = 1 << 30
+		e.inner = InnerPivot // unused: the recursion stays edge-oriented
+		e.switchDepth = neverSwitch
 	}
 }
 
-// runVertexOrderedSlice is runVertexOrdered restricted to ordering
-// positions ≡ offset (mod stride).
-func (e *engine) runVertexOrderedSlice(ord, pos []int32, offset, stride int) {
-	for i := offset; i < len(ord); i += stride {
+// runVertexOrderedRange is runVertexOrdered restricted to ordering
+// positions begin, begin+stride, ... below end. The dynamic scheduler
+// passes contiguous chunks (stride 1); the static-stride ablation passes
+// the legacy modulo slicing.
+func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int) {
+	for i := begin; i < end; i += stride {
 		v := ord[i]
 		nbrs := e.g.Neighbors(v)
 		e.setUniverse(nbrs, -1, len(nbrs))
@@ -190,11 +251,11 @@ func (e *engine) runVertexOrderedSlice(ord, pos []int32, offset, stride int) {
 	}
 }
 
-// runEdgeOrderedSlice is the per-worker variant of runEdgeOrdered: it
-// processes edge-order positions ≡ offset (mod stride) and leaves isolated
-// vertices to the caller.
-func (e *engine) runEdgeOrderedSlice(offset, stride int) {
-	for i := offset; i < len(e.eo.Order); i += stride {
+// runEdgeOrderedRange is the per-worker variant of runEdgeOrdered: it
+// processes edge-order positions begin, begin+stride, ... below end and
+// leaves isolated vertices to the caller.
+func (e *engine) runEdgeOrderedRange(begin, end, stride int) {
+	for i := begin; i < end; i += stride {
 		e.runEdgeBranch(e.eo.Order[i])
 	}
 }

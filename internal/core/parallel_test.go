@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/graphmining/hbbmc/internal/gen"
@@ -10,7 +12,19 @@ import (
 	"github.com/graphmining/hbbmc/internal/verify"
 )
 
+// withProcs raises GOMAXPROCS to n for the duration of the test, so the
+// multi-worker scheduler paths are exercised even on single-core CI
+// machines (EnumerateParallel clamps workers to GOMAXPROCS).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
 func TestParallelMatchesSequential(t *testing.T) {
+	withProcs(t, 4)
 	rng := rand.New(rand.NewSource(301))
 	for iter := 0; iter < 30; iter++ {
 		n := 1 + rng.Intn(40)
@@ -49,22 +63,205 @@ func TestParallelFallsBackForWholeGraph(t *testing.T) {
 	}
 }
 
-func TestParallelDeepSwitchFallsBack(t *testing.T) {
+func TestParallelDeepSwitchRunsParallel(t *testing.T) {
+	withProcs(t, 2)
 	g := gen.NoisyCliques(60, 6, 7, 50, 5)
-	a, _, err := countParallel(g, Options{Algorithm: HBBMC, SwitchDepth: 2, ET: 3}, 4)
+	for _, depth := range []int{2, 3} {
+		opts := Options{Algorithm: HBBMC, SwitchDepth: depth, ET: 3}
+		a, ps, err := countParallel(g, opts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.ParallelFallback != "" {
+			t.Fatalf("d=%d fell back: %q", depth, ps.ParallelFallback)
+		}
+		if ps.Workers != 2 {
+			t.Fatalf("d=%d ran %d workers, want 2", depth, ps.Workers)
+		}
+		b, _, err := Count(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("d=%d mismatch: parallel %d vs sequential %d", depth, a, b)
+		}
+	}
+}
+
+// TestParallelWorkerCountEquivalence is the cross-worker-count grid: every
+// parallelisable algorithm (including deep-switch HBBMC) must produce the
+// exact clique set of the sequential driver at 1, 2 and 8 workers.
+func TestParallelWorkerCountEquivalence(t *testing.T) {
+	withProcs(t, 8)
+	g := gen.NoisyCliques(300, 24, 9, 700, 42)
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"BKRef", Options{Algorithm: BKRef}},
+		{"BKDegen", Options{Algorithm: BKDegen}},
+		{"BKDegree", Options{Algorithm: BKDegree}},
+		{"BKRcd", Options{Algorithm: BKRcd}},
+		{"BKFac", Options{Algorithm: BKFac}},
+		{"EBBMC", Options{Algorithm: EBBMC, ET: 3}},
+		{"HBBMC_d1", Options{Algorithm: HBBMC, ET: 3, GR: true}},
+		{"HBBMC_d2", Options{Algorithm: HBBMC, SwitchDepth: 2, ET: 3, GR: true}},
+		{"HBBMC_d3", Options{Algorithm: HBBMC, SwitchDepth: 3, ET: 3}},
+	}
+	for _, cfg := range configs {
+		want, _, err := Collect(g, cfg.opts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", cfg.name, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			var got [][]int32
+			stats, err := EnumerateParallel(g, cfg.opts, workers, func(c []int32) {
+				got = append(got, append([]int32(nil), c...))
+			})
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", cfg.name, workers, err)
+			}
+			if d := verify.Diff(got, want); d != "" {
+				t.Fatalf("%s w=%d: %s", cfg.name, workers, d)
+			}
+			if stats.Cliques != int64(len(want)) {
+				t.Fatalf("%s w=%d: stats.Cliques=%d, want %d", cfg.name, workers, stats.Cliques, len(want))
+			}
+		}
+	}
+}
+
+func TestParallelStatsObservability(t *testing.T) {
+	withProcs(t, 2)
+	g := gen.NoisyCliques(120, 10, 8, 200, 9)
+
+	// Whole-graph algorithms report why they fell back.
+	stats, err := EnumerateParallel(g, Options{Algorithm: BKPivot}, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Count(g, Options{Algorithm: HBBMC, SwitchDepth: 2, ET: 3})
+	if stats.ParallelFallback == "" || stats.Workers != 1 {
+		t.Fatalf("BKPivot: Workers=%d ParallelFallback=%q, want sequential fallback", stats.Workers, stats.ParallelFallback)
+	}
+
+	// A single-worker request is a recorded fallback, not a silent one.
+	stats, err = EnumerateParallel(g, Defaults(), 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatalf("fallback mismatch: %d vs %d", a, b)
+	if stats.ParallelFallback == "" || stats.Workers != 1 {
+		t.Fatalf("w=1: Workers=%d ParallelFallback=%q", stats.Workers, stats.ParallelFallback)
+	}
+
+	// Absurd worker counts are clamped to GOMAXPROCS — observably.
+	stats, err = EnumerateParallel(g, Defaults(), 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := runtime.GOMAXPROCS(0); stats.Workers != max {
+		t.Fatalf("w=1<<20: Workers=%d, want clamp to %d", stats.Workers, max)
+	}
+
+	// Options.Workers supplies the default when the argument is ≤ 0.
+	opts := Defaults()
+	opts.Workers = 2
+	stats, err = EnumerateParallel(g, opts, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 2 {
+		t.Fatalf("Options.Workers=2: ran %d workers", stats.Workers)
+	}
+
+	// The sequential driver reports a single worker.
+	_, sstats, err := Count(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Workers != 1 || sstats.ParallelFallback != "" {
+		t.Fatalf("sequential: Workers=%d ParallelFallback=%q", sstats.Workers, sstats.ParallelFallback)
+	}
+}
+
+// TestParallelEmitNeverConcurrent hammers the batched emit path with many
+// workers and a tiny batch size; run under -race (as CI does) it also
+// exercises the batcher/sink synchronisation.
+func TestParallelEmitNeverConcurrent(t *testing.T) {
+	withProcs(t, 8)
+	g := gen.NoisyCliques(400, 40, 8, 900, 77)
+	opts := Defaults()
+	opts.EmitBatchSize = 2
+	var inEmit atomic.Int32
+	var emitted int64
+	stats, err := EnumerateParallel(g, opts, 8, func(c []int32) {
+		if n := inEmit.Add(1); n != 1 {
+			t.Errorf("emit entered concurrently (%d active)", n)
+		}
+		if len(c) == 0 {
+			t.Error("empty clique emitted")
+		}
+		emitted++
+		inEmit.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cliques != emitted {
+		t.Fatalf("stats.Cliques=%d, emitted %d", stats.Cliques, emitted)
+	}
+	if stats.Workers > 1 && stats.EmitBatches == 0 {
+		t.Fatal("parallel emit run recorded no batches")
+	}
+}
+
+// TestParallelEmitBatchSizes checks that the batch size is invisible in the
+// results: every size yields the same clique set.
+func TestParallelEmitBatchSizes(t *testing.T) {
+	withProcs(t, 4)
+	g := gen.NoisyCliques(200, 18, 8, 400, 11)
+	want, _, err := Collect(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 3, 256, 1 << 20} {
+		opts := Defaults()
+		opts.EmitBatchSize = batch
+		var got [][]int32
+		if _, err := EnumerateParallel(g, opts, 4, func(c []int32) {
+			got = append(got, append([]int32(nil), c...))
+		}); err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if d := verify.Diff(got, want); d != "" {
+			t.Fatalf("batch=%d: %s", batch, d)
+		}
+	}
+}
+
+// TestParallelChunkSizes checks that fixed work-queue chunking is likewise
+// invisible in the results.
+func TestParallelChunkSizes(t *testing.T) {
+	withProcs(t, 4)
+	g := gen.NoisyCliques(200, 18, 8, 400, 12)
+	want, _, err := Count(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 5, 4096} {
+		opts := Defaults()
+		opts.ParallelChunkSize = chunk
+		got, _, err := countParallel(g, opts, 4)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if got != want {
+			t.Fatalf("chunk=%d: %d cliques, want %d", chunk, got, want)
+		}
 	}
 }
 
 func TestParallelStatsMerged(t *testing.T) {
+	withProcs(t, 4)
 	g := gen.NoisyCliques(200, 20, 9, 400, 6)
 	_, ps, err := countParallel(g, Options{Algorithm: HBBMC, ET: 3, GR: true}, 4)
 	if err != nil {
@@ -89,6 +286,7 @@ func TestParallelStatsMerged(t *testing.T) {
 }
 
 func TestParallelNilEmit(t *testing.T) {
+	withProcs(t, 3)
 	g := gen.ER(300, 1500, 7)
 	n, _, err := countParallel(g, Defaults(), 3)
 	if err != nil {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// guidedDivisor controls the guided self-scheduling decay: each queue pop
+// claims remaining/(workers·guidedDivisor) items, so chunks start large
+// (low contention while every worker is busy) and shrink geometrically to
+// single items toward the tail, where the skew of the truss/degeneracy
+// order concentrates the imbalance.
+const guidedDivisor = 4
+
+// workQueue distributes the top-level branch indices [0, n) to workers via
+// a single atomic cursor. Workers pull half-open ranges with next(); the
+// chunk size is either fixed (fixed > 0) or guided (see guidedDivisor).
+type workQueue struct {
+	cursor  atomic.Int64
+	n       int64
+	workers int64
+	fixed   int64
+}
+
+func newWorkQueue(n, workers, fixed int) *workQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workQueue{n: int64(n), workers: int64(workers), fixed: int64(fixed)}
+}
+
+// next claims the next chunk of branch indices, returning the half-open
+// range [begin, end). ok is false once the queue is drained.
+func (q *workQueue) next() (begin, end int, ok bool) {
+	for {
+		cur := q.cursor.Load()
+		remaining := q.n - cur
+		if remaining <= 0 {
+			return 0, 0, false
+		}
+		chunk := q.fixed
+		if chunk <= 0 {
+			chunk = remaining / (q.workers * guidedDivisor)
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if q.cursor.CompareAndSwap(cur, cur+chunk) {
+			return int(cur), int(cur + chunk), true
+		}
+	}
+}
+
+// emitSink serialises flushes of the per-worker emit batchers onto the user
+// callback, preserving Enumerate's "emit is never called concurrently"
+// contract. batches counts flushes for Stats.EmitBatches.
+type emitSink struct {
+	mu      sync.Mutex
+	emit    func([]int32)
+	batches atomic.Int64
+}
+
+// emitBatchDataCap bounds the flattened vertex-id buffer of one batcher so
+// graphs with huge cliques cannot grow per-worker buffers without bound: a
+// batcher flushes when it holds EmitBatchSize cliques or this many ids,
+// whichever comes first.
+const emitBatchDataCap = 1 << 15
+
+// emitBatcher buffers the cliques of one worker and hands them to the sink
+// in batches, cutting the cross-worker lock traffic from one acquisition
+// per clique to one per batch. Cliques are stored flattened (lens + data)
+// so buffering costs no per-clique allocation in steady state.
+type emitBatcher struct {
+	sink  *emitSink
+	limit int
+	lens  []int32
+	data  []int32
+}
+
+func newEmitBatcher(sink *emitSink, limit int) *emitBatcher {
+	if limit < 1 {
+		limit = 1
+	}
+	return &emitBatcher{sink: sink, limit: limit}
+}
+
+// add buffers one clique (copying it — the caller reuses the slice) and
+// flushes when the batch is full.
+func (b *emitBatcher) add(c []int32) {
+	b.lens = append(b.lens, int32(len(c)))
+	b.data = append(b.data, c...)
+	if len(b.lens) >= b.limit || len(b.data) >= emitBatchDataCap {
+		b.flush()
+	}
+}
+
+// flush drains the buffered cliques to the user callback under the sink
+// lock. The slices handed to the callback alias the batch buffer and are
+// invalid after the callback returns, matching Enumerate's reuse contract.
+func (b *emitBatcher) flush() {
+	if len(b.lens) == 0 {
+		return
+	}
+	b.sink.mu.Lock()
+	off := 0
+	for _, l := range b.lens {
+		b.sink.emit(b.data[off : off+int(l) : off+int(l)])
+		off += int(l)
+	}
+	b.sink.mu.Unlock()
+	b.sink.batches.Add(1)
+	b.lens = b.lens[:0]
+	b.data = b.data[:0]
+}

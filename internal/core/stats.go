@@ -46,6 +46,18 @@ type Stats struct {
 	// covers the recursive enumeration. Total run time is their sum.
 	OrderingTime time.Duration
 	EnumTime     time.Duration
+
+	// Workers is the number of goroutines that actually executed the
+	// enumeration: 1 for the sequential driver (including parallel
+	// fallbacks), the effective post-clamp count for EnumerateParallel.
+	Workers int
+	// ParallelFallback is non-empty when EnumerateParallel delegated to
+	// the sequential driver, and states why (whole-graph algorithm,
+	// single worker).
+	ParallelFallback string
+	// EmitBatches counts the batched-emit flushes of a parallel run
+	// (0 when emit was nil or the run was sequential).
+	EmitBatches int64
 }
 
 // ETRatio returns b0/b of Table V (0 when no plex branches were seen).
