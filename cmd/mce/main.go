@@ -4,7 +4,7 @@
 //
 //	mce -in graph.txt [-format edgelist|dimacs] [-algo hbbmc] [-et 3] [-gr]
 //	    [-d 1] [-edgeorder truss] [-inner pivot] [-out cliques.txt] [-quiet]
-//	    [-workers 1] [-emitbatch 0] [-chunk 0]
+//	    [-workers 1] [-emitbatch 0] [-chunk 0] [-timeout 0] [-maxcliques 0]
 //
 // The input is an undirected edge list ("u v" per line, '#' comments) or a
 // DIMACS clique file. Each maximal clique is printed as one line of vertex
@@ -13,10 +13,19 @@
 // report cliques in nondeterministic order. -emitbatch and -chunk tune the
 // parallel scheduler's emit batching and work-queue chunking (0 = adaptive
 // defaults).
+//
+// -timeout bounds the wall-clock time of the enumeration (e.g. -timeout
+// 30s; 0 = unlimited) and -maxcliques stops after that many cliques
+// (0 = unlimited); both still print the cliques found and the partial
+// statistics. The exit status distinguishes the outcomes: 0 = complete,
+// 1 = error, 2 = usage, 3 = stopped by -maxcliques, 4 = stopped by
+// -timeout.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +33,16 @@ import (
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
+)
+
+// Exit codes: early stops requested via -maxcliques/-timeout are reported
+// distinctly from real errors so scripts can tell a truncated result from a
+// failed one.
+const (
+	exitError    = 1
+	exitUsage    = 2
+	exitStopped  = 3
+	exitDeadline = 4
 )
 
 var algorithms = map[string]hbbmc.Algorithm{
@@ -53,25 +72,27 @@ var edgeOrders = map[string]hbbmc.EdgeOrderKind{
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input graph file (required)")
-		format    = flag.String("format", "edgelist", "input format: edgelist or dimacs")
-		algo      = flag.String("algo", "hbbmc", "algorithm: "+keys(algorithms))
-		et        = flag.Int("et", 3, "early-termination t-plex threshold (0 disables)")
-		gr        = flag.Bool("gr", true, "apply graph reduction")
-		depth     = flag.Int("d", 1, "hybrid switch depth (HBBMC only)")
-		edgeOrder = flag.String("edgeorder", "truss", "edge ordering: "+keys(edgeOrders))
-		inner     = flag.String("inner", "pivot", "hybrid inner recursion: "+keys(inners))
-		out       = flag.String("out", "", "write cliques to this file (default stdout)")
-		quiet     = flag.Bool("quiet", false, "suppress clique output, print statistics only")
-		profile   = flag.Bool("profile", false, "print the graph's structural profile (δ, τ, ρ, h)")
-		workers   = flag.Int("workers", 1, "worker goroutines (1 = sequential, 0 = all cores)")
-		emitBatch = flag.Int("emitbatch", 0, "cliques buffered per worker before a batched emit flush (0 = default)")
-		chunk     = flag.Int("chunk", 0, "fixed branches per work-queue pop (0 = adaptive guided chunking)")
+		in         = flag.String("in", "", "input graph file (required)")
+		format     = flag.String("format", "edgelist", "input format: edgelist or dimacs")
+		algo       = flag.String("algo", "hbbmc", "algorithm: "+keys(algorithms))
+		et         = flag.Int("et", 3, "early-termination t-plex threshold (0 disables)")
+		gr         = flag.Bool("gr", true, "apply graph reduction")
+		depth      = flag.Int("d", 1, "hybrid switch depth (HBBMC only)")
+		edgeOrder  = flag.String("edgeorder", "truss", "edge ordering: "+keys(edgeOrders))
+		inner      = flag.String("inner", "pivot", "hybrid inner recursion: "+keys(inners))
+		out        = flag.String("out", "", "write cliques to this file (default stdout)")
+		quiet      = flag.Bool("quiet", false, "suppress clique output, print statistics only")
+		profile    = flag.Bool("profile", false, "print the graph's structural profile (δ, τ, ρ, h)")
+		workers    = flag.Int("workers", 1, "worker goroutines (1 = sequential, 0 = all cores)")
+		emitBatch  = flag.Int("emitbatch", 0, "cliques buffered per worker before a batched emit flush (0 = default)")
+		chunk      = flag.Int("chunk", 0, "fixed branches per work-queue pop (0 = adaptive guided chunking)")
+		timeout    = flag.Duration("timeout", 0, "stop the enumeration after this wall-clock time, keeping partial results (0 = unlimited)")
+		maxCliques = flag.Int64("maxcliques", 0, "stop after this many maximal cliques (0 = unlimited)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	g, err := load(*in, *format)
@@ -104,10 +125,33 @@ func main() {
 		defer w.Flush()
 	}
 
+	// Fold the flags into the session options: -workers 0 means all cores
+	// (the legacy CLI contract), and the context carries the -timeout
+	// deadline into the cooperative cancellation checks.
+	if *workers == 0 {
+		opts.Workers = hbbmc.UseAllCores
+	} else {
+		opts.Workers = *workers
+	}
+	opts.EmitBatchSize = *emitBatch
+	opts.ParallelChunkSize = *chunk
+	opts.MaxCliques = *maxCliques
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	emit := func(c []int32) {
+	sess, err := hbbmc.NewSession(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	stats, runErr := sess.Enumerate(ctx, func(c []int32) bool {
 		if w == nil {
-			return
+			return true
 		}
 		for i, v := range c {
 			if i > 0 {
@@ -116,25 +160,37 @@ func main() {
 			fmt.Fprint(w, v)
 		}
 		fmt.Fprintln(w)
+		return true
+	})
+	if code, _ := stopStatus(runErr); runErr != nil && code == 0 {
+		fatal(runErr) // a real failure, not a requested early stop
 	}
-	var stats *hbbmc.Stats
-	if *workers == 1 {
-		stats, err = hbbmc.Enumerate(g, opts, emit)
-	} else {
-		opts.EmitBatchSize = *emitBatch
-		opts.ParallelChunkSize = *chunk
-		stats, err = hbbmc.EnumerateParallel(g, opts, *workers, emit)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "%s: %d maximal cliques (ω=%d) in %v (ordering %v, enumeration %v); %d branches, %d calls, ET %d/%d, workers=%d\n",
+	fmt.Fprintf(os.Stderr, "%s: %d maximal cliques (ω=%d) in %v (preprocessing %v, enumeration %v); %d branches, %d calls, ET %d/%d, workers=%d\n",
 		*algo, stats.Cliques, stats.MaxCliqueSize, time.Since(start).Round(time.Millisecond),
-		stats.OrderingTime.Round(time.Millisecond), stats.EnumTime.Round(time.Millisecond),
+		sess.PrepTime().Round(time.Millisecond), stats.EnumTime.Round(time.Millisecond),
 		stats.TopBranches, stats.Calls, stats.EarlyTerminations, stats.PlexBranches, stats.Workers)
 	if stats.ParallelFallback != "" {
 		fmt.Fprintf(os.Stderr, "mce: parallel run fell back to the sequential driver: %s\n", stats.ParallelFallback)
 	}
+	if code, reason := stopStatus(runErr); code != 0 {
+		if w != nil {
+			w.Flush()
+		}
+		fmt.Fprintf(os.Stderr, "mce: stopped by %s; results above are partial\n", reason)
+		os.Exit(code)
+	}
+}
+
+// stopStatus classifies an early-stop error into its exit code and a
+// human-readable reason; complete runs return (0, "").
+func stopStatus(runErr error) (int, string) {
+	switch {
+	case errors.Is(runErr, context.DeadlineExceeded):
+		return exitDeadline, "-timeout"
+	case errors.Is(runErr, hbbmc.ErrStopped):
+		return exitStopped, "-maxcliques"
+	}
+	return 0, ""
 }
 
 func buildOptions(algo string, et int, gr bool, depth int, edgeOrder, inner string) (hbbmc.Options, error) {
@@ -190,5 +246,5 @@ func keys[V any](m map[string]V) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mce:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

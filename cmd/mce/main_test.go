@@ -1,12 +1,36 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	hbbmc "github.com/graphmining/hbbmc"
 )
+
+func TestStopStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{nil, 0},
+		{hbbmc.ErrStopped, exitStopped},
+		{fmt.Errorf("wrapped: %w", hbbmc.ErrStopped), exitStopped},
+		{context.DeadlineExceeded, exitDeadline},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), exitDeadline},
+	}
+	for _, c := range cases {
+		if code, _ := stopStatus(c.err); code != c.code {
+			t.Errorf("stopStatus(%v) = %d, want %d", c.err, code, c.code)
+		}
+	}
+	if code, _ := stopStatus(errors.New("disk on fire")); code != 0 {
+		t.Error("ordinary errors must not classify as early stops")
+	}
+}
 
 func TestBuildOptions(t *testing.T) {
 	opts, err := buildOptions("hbbmc", 3, true, 1, "truss", "pivot")

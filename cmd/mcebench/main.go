@@ -8,14 +8,21 @@
 //	mcebench -all                     # everything (several minutes)
 //	mcebench -table 5 -datasets NA,WE # restrict the dataset list
 //	mcebench -reps 3                  # repeat timings, keep the fastest
+//	mcebench -table 2 -json           # stream one JSON line per timed run
 //
 // Every run cross-checks that all configurations report identical clique
 // counts; a mismatch aborts with an error.
+//
+// With -json, every timed run emits one JSON line on stdout
+// ({"dataset","config","rep","seconds","stats":{...}}, durations in
+// nanoseconds) and the human-readable tables move to stderr, so the stdout
+// stream stays machine-parseable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -32,6 +39,7 @@ func main() {
 		reps     = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
 		seeds    = flag.Int("seeds", 3, "random graphs per figure sweep point")
 		workers  = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON line per timed run on stdout (tables move to stderr)")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -47,6 +55,12 @@ func main() {
 	fc := benchharness.DefaultFigureConfig()
 	fc.Seeds = *seeds
 	fc.Workers = *workers
+	tableOut := io.Writer(os.Stdout)
+	if *jsonOut {
+		cfg.JSON = os.Stdout
+		fc.JSON = os.Stdout
+		tableOut = os.Stderr
+	}
 
 	tables := map[int]func(benchharness.Config) (*benchharness.Table, error){
 		1: benchharness.Table1,
@@ -73,7 +87,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := t.Fprint(os.Stdout); err != nil {
+		if err := t.Fprint(tableOut); err != nil {
 			fatal(err)
 		}
 		ran = true
@@ -87,7 +101,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := t.Fprint(os.Stdout); err != nil {
+		if err := t.Fprint(tableOut); err != nil {
 			fatal(err)
 		}
 		ran = true

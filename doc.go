@@ -8,9 +8,11 @@
 //
 //	g, err := hbbmc.LoadEdgeListFile("graph.txt")
 //	if err != nil { ... }
-//	stats, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+//	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+//	if err != nil { ... }
+//	for c := range sess.Cliques(ctx) {
 //		fmt.Println(c) // one maximal clique; copy the slice to retain it
-//	})
+//	}
 //
 // DefaultOptions selects HBBMC++ — hybrid branching over a truss-based edge
 // ordering, early termination for 3-plex candidate graphs, and graph
@@ -21,31 +23,77 @@
 // threshold t, hybrid switch depth d, edge-ordering choice, inner vertex
 // recursion) are all exposed.
 //
+// # Sessions: cache the preprocessing, query many times
+//
+// NewSession computes the O(δm) preprocessing — graph reduction, the
+// truss/degeneracy/degree ordering, the triangle incidence — exactly once
+// and serves any number of queries against it: Session.Enumerate (streaming
+// Visitor), Session.Count, Session.Collect, the Session.Cliques range
+// iterator, and Session.EnumerateParallel. Sessions are immutable and safe
+// for concurrent queries, which makes them the natural unit for a service
+// answering many clique queries over the same graph. Query Stats report
+// zero OrderingTime; the cached cost is Session.PrepTime.
+//
+// # Cancellation and early stops
+//
+// Every session query takes a context.Context, honoured cooperatively at
+// top-branch granularity: after a cancellation or deadline the query
+// returns within one top-level branch (one edge or vertex of the ordering),
+// yielding the partial Stats and an error wrapping ctx.Err(). Two more ways
+// to stop early:
+//
+//   - a Visitor returning false ends the run with ErrStopped and no further
+//     Visitor calls;
+//   - Options.MaxCliques caps the run at a clique budget — exactly that many
+//     cliques are counted and delivered regardless of worker count, again
+//     with ErrStopped.
+//
+// The whole-graph algorithms BK and BKPivot run as a single branch, so they
+// only observe cancellation before that branch starts.
+//
 // # Parallel enumeration
 //
-// EnumerateParallel distributes the independent top-level branches of the
-// ordered frameworks over worker goroutines. Scheduling is dynamic: an
-// atomic work queue hands out chunks of branches with guided sizing —
-// large chunks while every worker is busy, single branches toward the
-// skewed tail of the truss/degeneracy order — so stragglers cannot pin the
-// run to one slow worker the way static striding does. Every ordered
-// algorithm parallelises, including HBBMC at any SwitchDepth; only the
-// whole-graph BK/BKPivot fall back to the sequential driver, and
-// Stats.Workers / Stats.ParallelFallback record what actually ran.
+// Options.Workers > 1 (or UseAllCores) distributes the independent
+// top-level branches of the ordered frameworks over worker goroutines.
+// Scheduling is dynamic: an atomic work queue hands out chunks of branches
+// with guided sizing — large chunks while every worker is busy, single
+// branches toward the skewed tail of the truss/degeneracy order — so
+// stragglers cannot pin the run to one slow worker the way static striding
+// does. Every ordered algorithm parallelises, including HBBMC at any
+// SwitchDepth; only the whole-graph BK/BKPivot fall back to the sequential
+// driver, and Stats.Workers / Stats.ParallelFallback record what actually
+// ran.
 //
-// The emit contract under parallelism: the callback is never invoked
-// concurrently, but cliques arrive in nondeterministic order and are
-// delivered in per-worker batches (Options.EmitBatchSize, default 256), so
-// a clique may be reported slightly after its discovery. As in the
-// sequential driver, the slice passed to emit is reused — copy it to
-// retain it. Options.Workers and Options.ParallelChunkSize tune the
-// worker count and work-queue chunking.
+// The delivery contract under parallelism: the Visitor is never invoked
+// concurrently, but it runs on internal worker goroutines rather than the
+// caller's (so goroutine-local mechanisms — recover around the query,
+// runtime.Goexit, testing.T.Fatalf — do not reach across), cliques arrive
+// in nondeterministic order, and they are delivered in per-worker batches
+// (Options.EmitBatchSize, default 256), so a clique may be reported
+// slightly after its discovery. As in the sequential driver, the slice
+// passed to the Visitor is reused — copy it to retain it.
+//
+// # Migrating from the one-shot functions
+//
+// The top-level Enumerate, EnumerateParallel, Count, CountParallel and
+// Collect predate sessions; they remain as thin deprecated wrappers that
+// build a throwaway session per call, so existing code keeps working
+// unchanged (including EnumerateParallel's positional workers argument,
+// now folded into Options.Workers). New code should hold a Session:
+//
+//	stats, err := hbbmc.Enumerate(g, opts, emit)        // before
+//
+//	sess, err := hbbmc.NewSession(g, opts)              // after
+//	stats, err := sess.Enumerate(ctx, func(c []int32) bool {
+//		emit(c)
+//		return true // false would stop the run
+//	})
 //
 // # Structure
 //
 // The root package is a thin facade over the internal engine:
 //
-//   - internal/core — the branch-and-bound engines and the ET/GR techniques
+//   - internal/core — the branch-and-bound engines, sessions, ET/GR
 //   - internal/graph — immutable CSR graphs and loaders
 //   - internal/order, internal/truss — degeneracy and truss orderings
 //   - internal/plex — direct enumeration from 2-/3-plex candidate graphs
@@ -53,7 +101,8 @@
 //   - internal/gen — synthetic graph generators (ER, BA, SBM, ...)
 //   - internal/kclique — EBBkC k-clique listing, the paper's substrate [19]
 //
-// The cmd/ directory ships four tools: mce (enumerate), mcegen (generate
-// workloads), mcebench (reproduce the paper's tables and figures) and
-// mceverify (audit a clique file against its graph).
+// The cmd/ directory ships four tools: mce (enumerate, with -timeout and
+// -maxcliques bounds), mcegen (generate workloads), mcebench (reproduce the
+// paper's tables and figures, optionally as JSON lines) and mceverify
+// (audit a clique file against its graph).
 package hbbmc

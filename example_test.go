@@ -1,13 +1,74 @@
 package hbbmc_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	hbbmc "github.com/graphmining/hbbmc"
 )
 
-// ExampleEnumerate shows the basic streaming API on a small graph.
+// ExampleNewSession shows the session API: preprocessing is computed once,
+// then any number of queries — here a range-over-func iteration and a
+// count — reuse it.
+func ExampleNewSession() {
+	b := hbbmc.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	var cliques [][]int32
+	for c := range sess.Cliques(ctx) {
+		cc := append([]int32(nil), c...) // the yielded slice is reused
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		cliques = append(cliques, cc)
+	}
+	sort.Slice(cliques, func(i, j int) bool { return fmt.Sprint(cliques[i]) < fmt.Sprint(cliques[j]) })
+	for _, c := range cliques {
+		fmt.Println(c)
+	}
+
+	// The second query skips preprocessing entirely.
+	n, stats, _ := sess.Count(ctx)
+	fmt.Println(n, stats.OrderingTime)
+	// Output:
+	// [0 1 2]
+	// [2 3]
+	// 2 0s
+}
+
+// ExampleSession_Enumerate shows early termination by clique budget: the
+// run stops with ErrStopped once Options.MaxCliques cliques were reported.
+func ExampleSession_Enumerate() {
+	g := hbbmc.GenerateMoonMoser(4) // 81 maximal cliques
+	opts := hbbmc.DefaultOptions()
+	opts.MaxCliques = 5
+	sess, err := hbbmc.NewSession(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	delivered := 0
+	_, err = sess.Enumerate(context.Background(), func(c []int32) bool {
+		delivered++
+		return true // returning false would also stop the run
+	})
+	fmt.Println(delivered, errors.Is(err, hbbmc.ErrStopped))
+	// Output:
+	// 5 true
+}
+
+// ExampleEnumerate shows the deprecated one-shot streaming API, kept as a
+// thin wrapper over a throwaway session. New code should use NewSession
+// (cached preprocessing, context cancellation, early stop).
 func ExampleEnumerate() {
 	b := hbbmc.NewBuilder(4)
 	b.AddEdge(0, 1)

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sort"
+	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
 )
@@ -30,18 +32,26 @@ func main() {
 	fmt.Printf("social graph: %d vertices, %d edges, %d planted communities\n",
 		g.NumVertices(), g.NumEdges(), numCommunities)
 
-	// Step 1: all maximal cliques of size ≥ k.
+	// Step 1: all maximal cliques of size ≥ k, streamed from a session with
+	// a deadline — a production service would bound every query like this.
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	var cliques [][]int32
-	stats, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+	stats, err := sess.Enumerate(ctx, func(c []int32) bool {
 		if len(c) >= k {
 			cliques = append(cliques, append([]int32(nil), c...))
 		}
+		return true
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("enumerated %d maximal cliques in %v; %d have ≥ %d vertices\n",
-		stats.Cliques, stats.TotalTime().Round(1000000), len(cliques), k)
+		stats.Cliques, (sess.PrepTime() + stats.EnumTime).Round(1000000), len(cliques), k)
 
 	// Step 2: union-find over cliques; two cliques join when they share
 	// ≥ k-1 vertices (clique percolation).

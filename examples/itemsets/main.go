@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,19 +58,26 @@ func main() {
 	g := builder.MustBuild()
 	fmt.Printf("co-purchase graph: %d frequent pairs (support ≥ %d)\n", edges, minSupport)
 
-	// Maximal cliques = maximal pairwise-frequent itemsets.
+	// Maximal cliques = maximal pairwise-frequent itemsets, streamed from a
+	// session (the co-purchase graph would be queried repeatedly as
+	// recommendation thresholds change — the preprocessing is paid once).
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	var patterns [][]int32
-	stats, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+	stats, err := sess.Enumerate(context.Background(), func(c []int32) bool {
 		if len(c) >= 3 {
 			patterns = append(patterns, append([]int32(nil), c...))
 		}
+		return true
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	sort.Slice(patterns, func(i, j int) bool { return len(patterns[i]) > len(patterns[j]) })
 	fmt.Printf("found %d maximal cliques (%d patterns with ≥ 3 items) in %v\n\n",
-		stats.Cliques, len(patterns), stats.TotalTime().Round(1000000))
+		stats.Cliques, len(patterns), (sess.PrepTime() + stats.EnumTime).Round(1000000))
 
 	show := len(patterns)
 	if show > 10 {

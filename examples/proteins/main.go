@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,17 +34,28 @@ func main() {
 		g.NumVertices(), g.NumEdges(), len(truth))
 
 	// Enumerate maximal cliques with two engines and check agreement — the
-	// kind of cross-validation a production pipeline would run.
+	// kind of cross-validation a production pipeline would run. Each engine
+	// gets its own session (the orderings they cache differ).
+	ctx := context.Background()
+	hybrid, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	var cliques [][]int32
-	statsH, err := hbbmc.Enumerate(g, hbbmc.DefaultOptions(), func(c []int32) {
+	statsH, err := hybrid.Enumerate(ctx, func(c []int32) bool {
 		if len(c) >= 4 {
 			cliques = append(cliques, append([]int32(nil), c...))
 		}
+		return true
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	countD, _, err := hbbmc.Count(g, hbbmc.Options{Algorithm: hbbmc.BKDegen, GR: true})
+	degen, err := hbbmc.NewSession(g, hbbmc.Options{Algorithm: hbbmc.BKDegen, GR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	countD, _, err := degen.Count(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -90,15 +90,24 @@ func DefaultOptions() Options { return core.Defaults() }
 // Enumerate runs the configured algorithm and invokes emit once per maximal
 // clique. The slice passed to emit is reused between calls; copy it if you
 // retain it. emit may be nil to only collect statistics.
+//
+// Deprecated: Enumerate redoes the O(δm) preprocessing on every call and
+// cannot be cancelled or stopped early. Use NewSession and
+// Session.Enumerate, which cache the preprocessing across queries and
+// accept a context.Context and a stop-capable Visitor.
 func Enumerate(g *Graph, opts Options, emit func(clique []int32)) (*Stats, error) {
 	return core.Enumerate(g, opts, emit)
 }
 
 // Count returns the number of maximal cliques without materialising them.
+//
+// Deprecated: use NewSession and Session.Count.
 func Count(g *Graph, opts Options) (int64, *Stats, error) { return core.Count(g, opts) }
 
 // Collect returns every maximal clique as a fresh slice. Convenient for
 // small graphs; large graphs should stream through Enumerate.
+//
+// Deprecated: use NewSession and Session.Collect.
 func Collect(g *Graph, opts Options) ([][]int32, *Stats, error) { return core.Collect(g, opts) }
 
 // Profile captures the structural parameters the paper's analysis depends
@@ -169,6 +178,11 @@ func GenerateMoonMoser(s int) *Graph { return gen.MoonMoser(s) }
 // SwitchDepth; only whole-graph BK/BKPivot fall back to the sequential
 // driver. Stats.Workers records the effective worker count and
 // Stats.ParallelFallback the fallback reason, if any.
+//
+// Deprecated: the positional workers argument is folded into
+// Options.Workers. Use NewSession and Session.Enumerate (or
+// Session.EnumerateParallel), which also cache the preprocessing across
+// queries and accept a context.Context and a stop-capable Visitor.
 func EnumerateParallel(g *Graph, opts Options, workers int, emit func(clique []int32)) (*Stats, error) {
 	return core.EnumerateParallel(g, opts, workers, emit)
 }
@@ -176,9 +190,14 @@ func EnumerateParallel(g *Graph, opts Options, workers int, emit func(clique []i
 // CountParallel is Count on the parallel driver: it returns the number of
 // maximal cliques without materialising them, using up to `workers`
 // goroutines (0 = Options.Workers, then GOMAXPROCS).
+//
+// Deprecated: set Options.Workers and use NewSession with Session.Count.
 func CountParallel(g *Graph, opts Options, workers int) (int64, *Stats, error) {
 	stats, err := core.EnumerateParallel(g, opts, workers, nil)
 	if err != nil {
+		if stats != nil {
+			return stats.Cliques, stats, err
+		}
 		return 0, nil, err
 	}
 	return stats.Cliques, stats, nil

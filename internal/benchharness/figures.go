@@ -2,6 +2,7 @@ package benchharness
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/graphmining/hbbmc/internal/gen"
 	"github.com/graphmining/hbbmc/internal/graph"
@@ -26,6 +27,9 @@ type FigureConfig struct {
 	// Workers runs every cell through the parallel driver with this many
 	// worker goroutines. 0 or 1 = sequential (the paper's setting).
 	Workers int
+	// JSON, when non-nil, receives one machine-readable JSON line per timed
+	// run (see runRecord) in addition to the rendered tables.
+	JSON io.Writer
 }
 
 // DefaultFigureConfig returns the laptop-scale sweep: the same 100× size
@@ -106,7 +110,8 @@ func sweep(fc FigureConfig, model string, points []int, mkGraph func(p int, seed
 			deltaSum += order.DegeneracyOrdering(g).Value
 			tauSum += truss.Decompose(g).Tau
 			for i, o := range options {
-				c, err := run(g, o.opts, 1, fc.Workers)
+				c, err := run(g, o.opts, 1, fc.Workers, fc.JSON,
+					fmt.Sprintf("%s/%s=%d/seed=%d", model, pointLabel, p, s), o.name)
 				if err != nil {
 					return nil, fmt.Errorf("%s n=%d %s: %v", model, p, o.name, err)
 				}

@@ -1,109 +1,59 @@
 package core
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"github.com/graphmining/hbbmc/internal/graph"
-	"github.com/graphmining/hbbmc/internal/order"
-	"github.com/graphmining/hbbmc/internal/reduce"
-	"github.com/graphmining/hbbmc/internal/truss"
 )
 
+// adaptEmit lifts a legacy fire-and-forget callback to a Visitor.
+func adaptEmit(emit func([]int32)) Visitor {
+	if emit == nil {
+		return nil
+	}
+	return func(c []int32) bool {
+		emit(c)
+		return true
+	}
+}
+
 // Enumerate runs the configured algorithm over g and calls emit once per
-// maximal clique with the clique's vertex ids (ascendingly unordered; the
-// slice is reused between calls — copy it to retain it). emit may be nil to
-// count only. Returns the run's statistics.
+// maximal clique with the clique's vertex ids (the slice is reused between
+// calls — copy it to retain it). emit may be nil to count only. Returns the
+// run's statistics.
+//
+// Deprecated: Enumerate redoes the O(δm) preprocessing on every call and
+// cannot be cancelled. Use NewSession and Session.Enumerate, which cache
+// the preprocessing and accept a context and a stop-capable Visitor.
 func Enumerate(g *graph.Graph, opts Options, emit func([]int32)) (*Stats, error) {
-	opts, err := opts.normalized()
+	s, err := NewSession(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{Workers: 1}
-	prep := time.Now()
-
-	var red *reduce.Result
-	if opts.GR {
-		red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
-	} else {
-		red = reduce.Identity(g)
-	}
-	stats.ReducedVertices = red.NumRemoved
-	stats.ReductionCliques = int64(len(red.Cliques))
-	for _, c := range red.Cliques {
-		stats.Cliques++
-		if len(c) > stats.MaxCliqueSize {
-			stats.MaxCliqueSize = len(c)
-		}
-		if emit != nil {
-			emit(c)
-		}
-	}
-
-	res := red.Residual
-	e := newEngine(res, red, opts, stats, emit)
-	configureEngine(e, opts)
-
-	switch opts.Algorithm {
-	case BK, BKPivot:
-		if res.NumVertices() > opts.MaxWholeGraphVertices {
-			return nil, fmt.Errorf("core: %v runs on a single whole-graph branch and is limited to %d vertices (graph has %d after reduction); use an ordered algorithm such as BKDegen or HBBMC",
-				opts.Algorithm, opts.MaxWholeGraphVertices, res.NumVertices())
-		}
-		stats.OrderingTime = time.Since(prep)
-		enum := time.Now()
-		e.runWholeGraph()
-		stats.EnumTime = time.Since(enum)
-	case BKRef, BKDegen, BKRcd, BKFac:
-		d := order.DegeneracyOrdering(res)
-		stats.Delta = d.Value
-		stats.OrderingTime = time.Since(prep)
-		enum := time.Now()
-		e.runVertexOrdered(d.Order, d.Pos)
-		stats.EnumTime = time.Since(enum)
-	case BKDegree:
-		ord, pos := order.DegreeOrdering(res)
-		stats.HIndex = order.HIndex(res)
-		stats.OrderingTime = time.Since(prep)
-		enum := time.Now()
-		e.runVertexOrdered(ord, pos)
-		stats.EnumTime = time.Since(enum)
-	case EBBMC, HBBMC:
-		switch opts.EdgeOrder {
-		case EdgeOrderTruss:
-			dec := truss.Decompose(res)
-			stats.Tau = dec.Tau
-			e.eo = dec.EdgeOrder
-			e.inc = dec.Inc
-		case EdgeOrderDegeneracy:
-			d := order.DegeneracyOrdering(res)
-			stats.Delta = d.Value
-			e.eo = truss.DegeneracyEdgeOrder(res, d.Pos)
-			e.inc = truss.BuildIncidence(res)
-		case EdgeOrderMinDegree:
-			e.eo = truss.MinDegreeEdgeOrder(res)
-			e.inc = truss.BuildIncidence(res)
-		}
-		stats.OrderingTime = time.Since(prep)
-		enum := time.Now()
-		e.runEdgeOrdered()
-		stats.EnumTime = time.Since(enum)
-	}
-	return stats, nil
+	stats, err := s.enumerate(context.Background(), 1, adaptEmit(emit))
+	stats.OrderingTime = s.prepTime
+	return stats, err
 }
 
 // Count enumerates without reporting cliques and returns their number.
+//
+// Deprecated: use NewSession and Session.Count.
 func Count(g *graph.Graph, opts Options) (int64, *Stats, error) {
 	stats, err := Enumerate(g, opts, nil)
 	if err != nil {
+		if stats != nil {
+			return stats.Cliques, stats, err
+		}
 		return 0, nil, err
 	}
 	return stats.Cliques, stats, nil
 }
 
 // Collect returns all maximal cliques as freshly allocated slices. Intended
-// for tests and small graphs; production callers should stream through
-// Enumerate's callback.
+// for tests and small graphs; production callers should stream through a
+// Visitor.
+//
+// Deprecated: use NewSession and Session.Collect.
 func Collect(g *graph.Graph, opts Options) ([][]int32, *Stats, error) {
 	var out [][]int32
 	stats, err := Enumerate(g, opts, func(c []int32) {
@@ -117,9 +67,11 @@ func Collect(g *graph.Graph, opts Options) ([][]int32, *Stats, error) {
 
 // runWholeGraph evaluates the entire residual graph as a single branch
 // (S=∅, C=V, X=∅) — the shape of the original BK and BK_Pivot algorithms.
+// Being one branch, it is also the cancellation granule: a context
+// cancellation is only observed before it starts.
 func (e *engine) runWholeGraph() {
 	n := e.g.NumVertices()
-	if n == 0 {
+	if n == 0 || e.rc.halted() {
 		return
 	}
 	all := make([]int32, n)
@@ -142,23 +94,7 @@ func (e *engine) runWholeGraph() {
 // given ordering): each vertex v branches with C = later neighbors and
 // X = earlier neighbors, the universe being N(v).
 func (e *engine) runVertexOrdered(ord, pos []int32) {
-	for _, v := range ord {
-		nbrs := e.g.Neighbors(v)
-		e.setUniverse(nbrs, -1, len(nbrs))
-		C := e.setArena.Get()
-		X := e.setArena.Get()
-		for j, w := range nbrs {
-			if pos[w] > pos[v] {
-				C.Set(j)
-			} else {
-				X.Set(j)
-			}
-		}
-		e.S = append(e.S[:0], v)
-		e.stats.TopBranches++
-		e.vertexRec(nil, C, X)
-		e.clearUniverse()
-	}
+	e.runVertexOrderedRange(ord, pos, 0, len(ord), 1)
 }
 
 // runEdgeOrdered performs the edge-oriented top-level split of EBBMC/HBBMC
@@ -168,12 +104,19 @@ func (e *engine) runVertexOrdered(ord, pos []int32) {
 // merging happens here; tiny branches (at most two candidates, empty
 // exclusion side) are resolved inline without materialising a universe.
 func (e *engine) runEdgeOrdered() {
-	for _, eid := range e.eo.Order {
-		e.runEdgeBranch(eid)
-	}
-	// Isolated vertices are covered by no edge branch (Eq. 3 at the initial
-	// branch): each is a maximal 1-clique.
+	e.runEdgeOrderedRange(0, len(e.eo.Order), 1)
+	e.runIsolatedVertices()
+}
+
+// runIsolatedVertices closes the edge-oriented split: isolated vertices are
+// covered by no edge branch (Eq. 3 at the initial branch), so each is a
+// maximal 1-clique. The parallel driver runs it once after the workers
+// join; the sequential driver after the last edge branch.
+func (e *engine) runIsolatedVertices() {
 	for v := int32(0); v < int32(e.g.NumVertices()); v++ {
+		if e.rc.stopped() {
+			return
+		}
 		if e.g.Degree(v) == 0 {
 			e.S = append(e.S[:0], v)
 			e.emit(nil)

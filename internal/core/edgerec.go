@@ -24,6 +24,9 @@ type localEdge struct {
 // recursion hands over to the vertex-oriented phase with a freshly built
 // masked adjacency.
 func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.EdgeCalls++
 	if C.IsEmpty() {

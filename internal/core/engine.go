@@ -27,7 +27,8 @@ type engine struct {
 	red         *reduce.Result
 	opts        Options
 	stats       *Stats
-	emitFn      func([]int32)
+	emitFn      Visitor
+	rc          *runControl
 	inner       InnerAlgorithm
 	switchDepth int
 
@@ -61,13 +62,17 @@ type engine struct {
 	inc *truss.Incidence
 }
 
-func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats, emit func([]int32)) *engine {
+// newEngine builds one per-goroutine engine. rc is required: the engine's
+// emit and recursion paths rely on the query's shared run control for the
+// stop latch and the clique budget.
+func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats, emit Visitor, rc *runControl) *engine {
 	e := &engine{
 		g:        res,
 		red:      red,
 		opts:     opts,
 		stats:    stats,
 		emitFn:   emit,
+		rc:       rc,
 		localID:  make([]int32, res.NumVertices()),
 		rowArena: bitset.NewArena(0),
 		setArena: bitset.NewArena(0),
@@ -258,15 +263,26 @@ func (e *engine) rankOfLocal(i, j int) int32 {
 
 // emit reports the clique formed by the current partial clique S plus the
 // given local universe vertices. It applies the removed-dominator filter of
-// the graph reduction, maps residual ids back to original ids and invokes
-// the user callback.
+// the graph reduction, consumes the clique budget, maps residual ids back
+// to original ids and invokes the user visitor; a visitor returning false
+// latches the run's stop flag.
 func (e *engine) emit(extraLocal []int32) {
+	// A latched stop must silence every later emit, including ones from the
+	// same recursion frame (ET plex bursts, tiny-branch multi-emits) that
+	// no entry-level stop check can intercept — the visitor contract
+	// promises no calls after it returned false.
+	if e.rc.stopped() {
+		return
+	}
 	e.resBuf = append(e.resBuf[:0], e.S...)
 	for _, li := range extraLocal {
 		e.resBuf = append(e.resBuf, e.verts[li])
 	}
 	if e.red.NumRemoved > 0 && e.red.HasRemovedDominator(e.resBuf) {
 		e.stats.SuppressedLeaves++
+		return
+	}
+	if !e.rc.take() {
 		return
 	}
 	e.stats.Cliques++
@@ -278,7 +294,9 @@ func (e *engine) emit(extraLocal []int32) {
 		for _, r := range e.resBuf {
 			e.emitBuf = append(e.emitBuf, e.red.OrigID[r])
 		}
-		e.emitFn(e.emitBuf)
+		if !e.emitFn(e.emitBuf) {
+			e.rc.stop.Store(true)
+		}
 	}
 }
 
@@ -325,7 +343,10 @@ func (e *engine) tryEarlyTerminate(adjH []bitset.Set, C, X bitset.Set, cSize, mi
 	return true
 }
 
-// vertexRec dispatches to the configured vertex-oriented recursion.
+// vertexRec dispatches to the configured vertex-oriented recursion. Every
+// recursion polls the run's stop latch on entry, so a stopped run (visitor
+// returned false, clique budget exhausted, or a cancellation observed at a
+// top-branch check) unwinds without evaluating further branches.
 func (e *engine) vertexRec(adjH []bitset.Set, C, X bitset.Set) {
 	switch e.inner {
 	case innerPlain:

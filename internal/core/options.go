@@ -124,6 +124,10 @@ func (k EdgeOrderKind) String() string {
 	return fmt.Sprintf("EdgeOrderKind(%d)", int(k))
 }
 
+// UseAllCores is the Options.Workers value that selects one worker per
+// available core (GOMAXPROCS).
+const UseAllCores = -1
+
 // Options configures an enumeration run. The zero value runs plain BK
 // without reductions; use Defaults() for the paper's HBBMC++ configuration.
 type Options struct {
@@ -151,10 +155,20 @@ type Options struct {
 	// whose branch universe is the entire vertex set; 0 = default 20000.
 	MaxWholeGraphVertices int
 
-	// Workers is the default worker count for EnumerateParallel when its
-	// workers argument is ≤ 0 (0 = GOMAXPROCS). Ignored by the sequential
-	// Enumerate.
+	// Workers selects the enumeration driver for Session queries: 0 or 1
+	// runs the sequential driver, n > 1 distributes the top-level branches
+	// over up to n goroutines (clamped to GOMAXPROCS), and UseAllCores (-1)
+	// uses one worker per core. The deprecated EnumerateParallel treats its
+	// positional workers argument as an override of this field (a ≤ 0
+	// argument there falls back to this field, then to all cores); the
+	// deprecated sequential Enumerate ignores it.
 	Workers int
+	// MaxCliques stops the run once this many maximal cliques have been
+	// reported (0 = unlimited). A run that hits the cap returns ErrStopped
+	// together with the partial Stats; exactly MaxCliques cliques are
+	// counted and delivered regardless of worker count (which cliques is
+	// nondeterministic under parallelism).
+	MaxCliques int64
 	// EmitBatchSize is the number of cliques each parallel worker buffers
 	// before flushing them to the user callback in one locked batch
 	// (0 = default 256, 1 = flush every clique). Larger batches cut lock
@@ -196,8 +210,11 @@ func (o Options) normalized() (Options, error) {
 	if o.MaxWholeGraphVertices == 0 {
 		o.MaxWholeGraphVertices = 20000
 	}
-	if o.Workers < 0 {
-		return o, fmt.Errorf("core: negative Workers %d", o.Workers)
+	if o.Workers < UseAllCores {
+		return o, fmt.Errorf("core: invalid Workers %d (use UseAllCores for all cores)", o.Workers)
+	}
+	if o.MaxCliques < 0 {
+		return o, fmt.Errorf("core: negative MaxCliques %d", o.MaxCliques)
 	}
 	if o.EmitBatchSize < 0 {
 		return o, fmt.Errorf("core: negative EmitBatchSize %d", o.EmitBatchSize)

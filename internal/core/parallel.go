@@ -1,15 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"time"
 
 	"github.com/graphmining/hbbmc/internal/graph"
-	"github.com/graphmining/hbbmc/internal/order"
-	"github.com/graphmining/hbbmc/internal/reduce"
-	"github.com/graphmining/hbbmc/internal/truss"
 )
 
 // EnumerateParallel runs the configured algorithm with the top-level
@@ -35,163 +30,34 @@ import (
 // top-level branch and fall back to the sequential driver. The effective
 // worker count and any fallback reason are recorded in Stats.Workers and
 // Stats.ParallelFallback.
+//
+// Deprecated: the positional workers argument is folded into
+// Options.Workers. Use NewSession and Session.Enumerate (or
+// Session.EnumerateParallel), which also cache the preprocessing across
+// queries and accept a context and a stop-capable Visitor.
 func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]int32)) (*Stats, error) {
-	opts, err := opts.normalized()
-	if err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = opts.Workers
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		// Legacy contract: with no explicit count anywhere, use all cores.
+		workers = UseAllCores
 	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
+	s, err := NewSession(g, opts)
+	if err != nil {
+		return nil, err
 	}
-	if reason := sequentialFallback(opts, workers); reason != "" {
-		stats, err := Enumerate(g, opts, emit)
-		if err != nil {
-			return nil, err
-		}
-		stats.ParallelFallback = reason
-		return stats, nil
+	stats, err := s.enumerate(context.Background(), workers, adaptEmit(emit))
+	stats.OrderingTime = s.prepTime
+	if workers == 1 && stats.ParallelFallback == "" {
+		// An explicit workers=1 request through this parallel entry point is
+		// a recorded fallback, not a silent one.
+		stats.ParallelFallback = "single worker"
 	}
-
-	stats := &Stats{Workers: workers}
-	prep := time.Now()
-	var red *reduce.Result
-	if opts.GR {
-		red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
-	} else {
-		red = reduce.Identity(g)
-	}
-	stats.ReducedVertices = red.NumRemoved
-	stats.ReductionCliques = int64(len(red.Cliques))
-	for _, c := range red.Cliques {
-		stats.Cliques++
-		if len(c) > stats.MaxCliqueSize {
-			stats.MaxCliqueSize = len(c)
-		}
-		if emit != nil {
-			emit(c)
-		}
-	}
-	res := red.Residual
-
-	// Shared, read-only ordering state.
-	var (
-		vertOrd, vertPos []int32
-		eo               truss.EdgeOrder
-		inc              *truss.Incidence
-	)
-	switch opts.Algorithm {
-	case BKRef, BKDegen, BKRcd, BKFac:
-		d := order.DegeneracyOrdering(res)
-		stats.Delta = d.Value
-		vertOrd, vertPos = d.Order, d.Pos
-	case BKDegree:
-		vertOrd, vertPos = order.DegreeOrdering(res)
-		stats.HIndex = order.HIndex(res)
-	case EBBMC, HBBMC:
-		switch opts.EdgeOrder {
-		case EdgeOrderTruss:
-			dec := truss.Decompose(res)
-			stats.Tau = dec.Tau
-			eo, inc = dec.EdgeOrder, dec.Inc
-		case EdgeOrderDegeneracy:
-			d := order.DegeneracyOrdering(res)
-			stats.Delta = d.Value
-			eo, inc = truss.DegeneracyEdgeOrder(res, d.Pos), truss.BuildIncidence(res)
-		case EdgeOrderMinDegree:
-			eo, inc = truss.MinDegreeEdgeOrder(res), truss.BuildIncidence(res)
-		}
-	}
-	stats.OrderingTime = time.Since(prep)
-	enum := time.Now()
-
-	edgeDriven := opts.Algorithm == EBBMC || opts.Algorithm == HBBMC
-	items := len(vertOrd)
-	if edgeDriven {
-		items = len(eo.Order)
-	}
-	queue := newWorkQueue(items, workers, opts.ParallelChunkSize)
-	sink := &emitSink{emit: emit}
-
-	workerStats := make([]*Stats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		ws := &Stats{}
-		workerStats[w] = ws
-		var batcher *emitBatcher
-		var workerEmit func([]int32)
-		if emit != nil {
-			if ablateStaticStride {
-				// Seed behavior under ablation: one lock round-trip per clique.
-				workerEmit = func(c []int32) {
-					sink.mu.Lock()
-					sink.emit(c)
-					sink.mu.Unlock()
-				}
-			} else {
-				batcher = newEmitBatcher(sink, opts.EmitBatchSize)
-				workerEmit = batcher.add
-			}
-		}
-		e := newEngine(res, red, opts, ws, workerEmit)
-		configureEngine(e, opts)
-		e.eo, e.inc = eo, inc
-		offset := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if ablateStaticStride {
-				if edgeDriven {
-					e.runEdgeOrderedRange(offset, items, workers)
-				} else {
-					e.runVertexOrderedRange(vertOrd, vertPos, offset, items, workers)
-				}
-			} else {
-				for {
-					begin, end, ok := queue.next()
-					if !ok {
-						break
-					}
-					if edgeDriven {
-						e.runEdgeOrderedRange(begin, end, 1)
-					} else {
-						e.runVertexOrderedRange(vertOrd, vertPos, begin, end, 1)
-					}
-				}
-			}
-			if batcher != nil {
-				batcher.flush()
-			}
-		}()
-	}
-	wg.Wait()
-	// Isolated vertices of the edge-ordered drivers are handled once,
-	// outside the workers; with the workers joined, emit needs no lock.
-	if edgeDriven {
-		e := newEngine(res, red, opts, stats, emit)
-		configureEngine(e, opts)
-		e.eo, e.inc = eo, inc
-		for v := int32(0); v < int32(res.NumVertices()); v++ {
-			if res.Degree(v) == 0 {
-				e.S = append(e.S[:0], v)
-				e.emit(nil)
-			}
-		}
-	}
-	for _, ws := range workerStats {
-		stats.merge(ws)
-	}
-	stats.EmitBatches = sink.batches.Load()
-	stats.EnumTime = time.Since(enum)
-	return stats, nil
+	return stats, err
 }
 
-// sequentialFallback returns the reason EnumerateParallel must delegate to
+// sequentialFallback returns the reason a parallel query must delegate to
 // the sequential driver, or "" when the parallel scheduler applies.
 func sequentialFallback(opts Options, workers int) string {
 	if opts.Algorithm == BK || opts.Algorithm == BKPivot {
@@ -226,12 +92,16 @@ func configureEngine(e *engine, opts Options) {
 	}
 }
 
-// runVertexOrderedRange is runVertexOrdered restricted to ordering
-// positions begin, begin+stride, ... below end. The dynamic scheduler
-// passes contiguous chunks (stride 1); the static-stride ablation passes
-// the legacy modulo slicing.
+// runVertexOrderedRange is the ordered top-level split (Eq. 1) restricted
+// to ordering positions begin, begin+stride, ... below end. The sequential
+// driver passes the whole range, the dynamic scheduler contiguous chunks
+// (stride 1), and the static-stride ablation the legacy modulo slicing.
+// Cancellation and early stops are observed once per top-level branch.
 func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int) {
 	for i := begin; i < end; i += stride {
+		if e.rc.halted() {
+			return
+		}
 		v := ord[i]
 		nbrs := e.g.Neighbors(v)
 		e.setUniverse(nbrs, -1, len(nbrs))
@@ -251,11 +121,14 @@ func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int)
 	}
 }
 
-// runEdgeOrderedRange is the per-worker variant of runEdgeOrdered: it
-// processes edge-order positions begin, begin+stride, ... below end and
-// leaves isolated vertices to the caller.
+// runEdgeOrderedRange processes edge-order positions begin, begin+stride,
+// ... below end and leaves isolated vertices to the caller. Cancellation
+// and early stops are observed once per top-level branch.
 func (e *engine) runEdgeOrderedRange(begin, end, stride int) {
 	for i := begin; i < end; i += stride {
+		if e.rc.halted() {
+			return
+		}
 		e.runEdgeBranch(e.eo.Order[i])
 	}
 }

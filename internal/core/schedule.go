@@ -55,12 +55,60 @@ func (q *workQueue) next() (begin, end int, ok bool) {
 }
 
 // emitSink serialises flushes of the per-worker emit batchers onto the user
-// callback, preserving Enumerate's "emit is never called concurrently"
-// contract. batches counts flushes for Stats.EmitBatches.
+// visitor, preserving the "the visitor is never called concurrently"
+// contract. Once any visitor call returns false, stopped latches under mu
+// and no further visitor calls are made — cliques still buffered in other
+// workers' batches are dropped (their counts were already recorded by the
+// workers that found them). batches counts flushes for Stats.EmitBatches.
 type emitSink struct {
 	mu      sync.Mutex
-	emit    func([]int32)
+	visit   Visitor
+	rc      *runControl
+	stopped bool
+	// dropped counts cliques a worker had already recorded in its Stats
+	// when the stop latched, so they were never delivered; the driver
+	// subtracts them to keep Stats.Cliques = cliques actually reported.
+	dropped int64
 	batches atomic.Int64
+}
+
+// deliverLocked is the single deliver-or-drop protocol every path shares;
+// the caller holds mu. A stopped sink records the clique as dropped (the
+// finding worker already counted it); a visitor refusal latches the sink
+// and the run's stop flag.
+func (s *emitSink) deliverLocked(c []int32) bool {
+	if s.stopped {
+		s.dropped++
+		return false
+	}
+	if !s.visit(c) {
+		s.stopped = true
+		if s.rc != nil { // unit tests build bare sinks without a run
+			s.rc.stop.Store(true)
+		}
+		return false
+	}
+	return true
+}
+
+// emitLocked delivers one clique under the sink lock — the seed's
+// per-clique locking, kept for the static-stride ablation.
+func (s *emitSink) emitLocked(c []int32) bool {
+	s.mu.Lock()
+	ok := s.deliverLocked(c)
+	s.mu.Unlock()
+	return ok
+}
+
+// direct returns the delivery Visitor for single-goroutine phases after
+// the workers have joined (the isolated-vertex pass); the sink lock is
+// uncontended then, so the same locked protocol serves. nil when there is
+// no visitor.
+func (s *emitSink) direct() Visitor {
+	if s.visit == nil {
+		return nil
+	}
+	return s.emitLocked
 }
 
 // emitBatchDataCap bounds the flattened vertex-id buffer of one batcher so
@@ -88,18 +136,22 @@ func newEmitBatcher(sink *emitSink, limit int) *emitBatcher {
 }
 
 // add buffers one clique (copying it — the caller reuses the slice) and
-// flushes when the batch is full.
-func (b *emitBatcher) add(c []int32) {
+// flushes when the batch is full. It always reports true: a visitor stop is
+// propagated through the run's stop latch at flush time instead.
+func (b *emitBatcher) add(c []int32) bool {
 	b.lens = append(b.lens, int32(len(c)))
 	b.data = append(b.data, c...)
 	if len(b.lens) >= b.limit || len(b.data) >= emitBatchDataCap {
 		b.flush()
 	}
+	return true
 }
 
-// flush drains the buffered cliques to the user callback under the sink
-// lock. The slices handed to the callback alias the batch buffer and are
-// invalid after the callback returns, matching Enumerate's reuse contract.
+// flush drains the buffered cliques to the user visitor under the sink
+// lock. The slices handed to the visitor alias the batch buffer and are
+// invalid after the visitor returns, matching the streaming reuse contract.
+// A visitor returning false latches the sink and the run's stop flag; the
+// rest of the batch is discarded.
 func (b *emitBatcher) flush() {
 	if len(b.lens) == 0 {
 		return
@@ -107,8 +159,9 @@ func (b *emitBatcher) flush() {
 	b.sink.mu.Lock()
 	off := 0
 	for _, l := range b.lens {
-		b.sink.emit(b.data[off : off+int(l) : off+int(l)])
+		c := b.data[off : off+int(l) : off+int(l)]
 		off += int(l)
+		b.sink.deliverLocked(c)
 	}
 	b.sink.mu.Unlock()
 	b.sink.batches.Add(1)

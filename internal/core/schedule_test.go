@@ -88,8 +88,9 @@ func TestWorkQueueEmpty(t *testing.T) {
 
 func TestEmitBatcherFlushesAtLimit(t *testing.T) {
 	var got [][]int32
-	sink := &emitSink{emit: func(c []int32) {
+	sink := &emitSink{visit: func(c []int32) bool {
 		got = append(got, append([]int32(nil), c...))
+		return true
 	}}
 	b := newEmitBatcher(sink, 3)
 	b.add([]int32{1})
@@ -124,7 +125,7 @@ func TestEmitBatcherFlushesAtLimit(t *testing.T) {
 
 func TestEmitBatcherDataCapForcesFlush(t *testing.T) {
 	flushes := 0
-	sink := &emitSink{emit: func([]int32) {}}
+	sink := &emitSink{visit: func([]int32) bool { return true }}
 	b := newEmitBatcher(sink, 1<<30) // clique limit never reached
 	big := make([]int32, emitBatchDataCap/4)
 	for i := 0; i < 8; i++ {

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphmining/hbbmc/internal/graph"
+	"github.com/graphmining/hbbmc/internal/order"
+	"github.com/graphmining/hbbmc/internal/reduce"
+	"github.com/graphmining/hbbmc/internal/truss"
+)
+
+// ErrStopped is returned (possibly wrapped) when an enumeration ended early
+// because a Visitor returned false or Options.MaxCliques was reached. The
+// accompanying Stats cover the work done up to the stop.
+var ErrStopped = errors.New("core: enumeration stopped early")
+
+// Visitor receives one maximal clique per call. The slice is reused between
+// calls — copy it to retain it. Returning false stops the enumeration; the
+// run then finishes with ErrStopped and no further Visitor calls are made.
+type Visitor func(clique []int32) bool
+
+// Session caches the preprocessing of one (graph, options) pair — the
+// reduction result, the vertex or edge ordering and the triangle incidence —
+// and serves any number of enumeration queries against it without repeating
+// that O(δm) work. A Session is immutable after NewSession and safe for
+// concurrent queries from multiple goroutines.
+type Session struct {
+	opts Options // normalized
+	red  *reduce.Result
+	res  *graph.Graph // residual graph after reduction
+
+	// Ordering state; only the fields the configured algorithm needs are set.
+	vertOrd, vertPos []int32
+	eo               truss.EdgeOrder
+	inc              *truss.Incidence
+
+	delta, tau, hIndex int
+	prepTime           time.Duration
+}
+
+// NewSession validates opts and computes the preprocessing for g once:
+// graph reduction (when Options.GR is set), the top-level vertex or edge
+// ordering, and the triangle incidence of the edge-oriented frameworks.
+// Every subsequent query reuses these artifacts, so their Stats report zero
+// OrderingTime; PrepTime returns the cached cost.
+func NewSession(g *graph.Graph, opts Options) (*Session, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{opts: opts}
+	start := time.Now()
+	if opts.GR {
+		s.red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
+	} else {
+		s.red = reduce.Identity(g)
+	}
+	s.res = s.red.Residual
+	switch opts.Algorithm {
+	case BK, BKPivot:
+		if s.res.NumVertices() > opts.MaxWholeGraphVertices {
+			return nil, fmt.Errorf("core: %v runs on a single whole-graph branch and is limited to %d vertices (graph has %d after reduction); use an ordered algorithm such as BKDegen or HBBMC",
+				opts.Algorithm, opts.MaxWholeGraphVertices, s.res.NumVertices())
+		}
+	case BKRef, BKDegen, BKRcd, BKFac:
+		d := order.DegeneracyOrdering(s.res)
+		s.delta = d.Value
+		s.vertOrd, s.vertPos = d.Order, d.Pos
+	case BKDegree:
+		s.vertOrd, s.vertPos = order.DegreeOrdering(s.res)
+		s.hIndex = order.HIndex(s.res)
+	case EBBMC, HBBMC:
+		switch opts.EdgeOrder {
+		case EdgeOrderTruss:
+			dec := truss.Decompose(s.res)
+			s.tau = dec.Tau
+			s.eo, s.inc = dec.EdgeOrder, dec.Inc
+		case EdgeOrderDegeneracy:
+			d := order.DegeneracyOrdering(s.res)
+			s.delta = d.Value
+			s.eo, s.inc = truss.DegeneracyEdgeOrder(s.res, d.Pos), truss.BuildIncidence(s.res)
+		case EdgeOrderMinDegree:
+			s.eo, s.inc = truss.MinDegreeEdgeOrder(s.res), truss.BuildIncidence(s.res)
+		}
+	}
+	s.prepTime = time.Since(start)
+	return s, nil
+}
+
+// Options returns the session's normalized options.
+func (s *Session) Options() Options { return s.opts }
+
+// PrepTime returns the cost of the cached preprocessing (reduction plus
+// ordering construction), paid once in NewSession.
+func (s *Session) PrepTime() time.Duration { return s.prepTime }
+
+// Enumerate runs one query, invoking visit once per maximal clique (visit
+// may be nil to only collect statistics). Options.Workers selects the
+// driver: 0 or 1 sequential, n > 1 parallel over up to n goroutines,
+// UseAllCores every core.
+//
+// ctx is checked cooperatively at top-branch granularity: after a
+// cancellation or deadline the run returns within one top-level branch,
+// with the partial Stats and an error wrapping ctx.Err(). A visit callback
+// returning false, or Options.MaxCliques being reached, stops the run the
+// same way with ErrStopped.
+func (s *Session) Enumerate(ctx context.Context, visit Visitor) (*Stats, error) {
+	return s.enumerate(ctx, s.opts.Workers, visit)
+}
+
+// EnumerateParallel is Enumerate with an explicit worker count overriding
+// Options.Workers (0 = all cores, clamped to GOMAXPROCS).
+func (s *Session) EnumerateParallel(ctx context.Context, workers int, visit Visitor) (*Stats, error) {
+	if workers <= 0 {
+		workers = UseAllCores
+	}
+	return s.enumerate(ctx, workers, visit)
+}
+
+// Count runs one query and returns the number of maximal cliques without
+// materialising them. On an interrupted or stopped run it returns the
+// partial count together with the error.
+func (s *Session) Count(ctx context.Context) (int64, *Stats, error) {
+	stats, err := s.Enumerate(ctx, nil)
+	return stats.Cliques, stats, err
+}
+
+// Collect runs one query and returns every maximal clique as a fresh slice.
+// Convenient for small graphs; large graphs should stream through Enumerate
+// or Cliques.
+func (s *Session) Collect(ctx context.Context) ([][]int32, *Stats, error) {
+	var out [][]int32
+	stats, err := s.Enumerate(ctx, func(c []int32) bool {
+		out = append(out, append([]int32(nil), c...))
+		return true
+	})
+	return out, stats, err
+}
+
+// Cliques returns a range-over-func iterator over the maximal cliques:
+//
+//	for c := range sess.Cliques(ctx) { ... }
+//
+// Breaking out of the loop stops the enumeration (the Visitor-returns-false
+// path); cancelling ctx stops it at top-branch granularity. The yielded
+// slice is reused between iterations — copy it to retain it. Use Enumerate
+// directly when the run's Stats or error are needed.
+func (s *Session) Cliques(ctx context.Context) iter.Seq[[]int32] {
+	return func(yield func([]int32) bool) {
+		_, _ = s.Enumerate(ctx, Visitor(yield))
+	}
+}
+
+// resolveWorkers maps an Options.Workers-style value to an effective worker
+// count: 0 and 1 are sequential, UseAllCores is GOMAXPROCS, and anything
+// larger than GOMAXPROCS is clamped to it.
+func resolveWorkers(w int) int {
+	max := runtime.GOMAXPROCS(0)
+	switch {
+	case w == UseAllCores:
+		return max
+	case w <= 1:
+		return 1
+	case w > max:
+		return max
+	}
+	return w
+}
+
+// enumerate dispatches one query to the sequential or parallel driver.
+// requested is the raw Workers-style value; resolving it here (rather than
+// in the callers) lets a parallel request that clamps down to one worker
+// still record its fallback reason in Stats.ParallelFallback.
+func (s *Session) enumerate(ctx context.Context, requested int, visit Visitor) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rc := newRunControl(ctx, s.opts)
+	workers := resolveWorkers(requested)
+	var stats *Stats
+	switch {
+	case workers <= 1:
+		stats = s.runSequential(rc, visit)
+		if requested > 1 || requested == UseAllCores {
+			stats.ParallelFallback = "single worker"
+		}
+	default:
+		if reason := sequentialFallback(s.opts, workers); reason != "" {
+			stats = s.runSequential(rc, visit)
+			stats.ParallelFallback = reason
+		} else {
+			stats = s.runParallel(rc, workers, visit)
+		}
+	}
+	return stats, rc.err()
+}
+
+// baseStats seeds a query's Stats with the cached preprocessing summary.
+// OrderingTime stays zero: the session already paid it (see PrepTime).
+func (s *Session) baseStats(workers int) *Stats {
+	return &Stats{
+		Workers:          workers,
+		ReducedVertices:  s.red.NumRemoved,
+		ReductionCliques: int64(len(s.red.Cliques)),
+		Delta:            s.delta,
+		Tau:              s.tau,
+		HIndex:           s.hIndex,
+	}
+}
+
+// emitReduced reports the cliques found by the reduction preprocessing,
+// honouring the clique budget and the visitor's stop signal. The visitor
+// sees a scratch copy, never the session's cached slices — the streaming
+// contract lets callers scribble on the slice until the call returns, and
+// that must not corrupt the cache that later queries reuse.
+func emitReduced(rc *runControl, stats *Stats, cliques [][]int32, visit Visitor) {
+	var buf []int32
+	for _, c := range cliques {
+		if rc.halted() || !rc.take() {
+			return
+		}
+		stats.Cliques++
+		if len(c) > stats.MaxCliqueSize {
+			stats.MaxCliqueSize = len(c)
+		}
+		if visit != nil {
+			buf = append(buf[:0], c...)
+			if !visit(buf) {
+				rc.stop.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// runSequential executes one query on a single goroutine.
+func (s *Session) runSequential(rc *runControl, visit Visitor) *Stats {
+	stats := s.baseStats(1)
+	enum := time.Now()
+	emitReduced(rc, stats, s.red.Cliques, visit)
+	if !rc.halted() {
+		e := newEngine(s.res, s.red, s.opts, stats, visit, rc)
+		configureEngine(e, s.opts)
+		e.eo, e.inc = s.eo, s.inc
+		switch s.opts.Algorithm {
+		case BK, BKPivot:
+			e.runWholeGraph()
+		case BKRef, BKDegen, BKRcd, BKFac, BKDegree:
+			e.runVertexOrdered(s.vertOrd, s.vertPos)
+		case EBBMC, HBBMC:
+			e.runEdgeOrdered()
+		}
+	}
+	stats.EnumTime = time.Since(enum)
+	return stats
+}
+
+// runParallel executes one query with the top-level branches distributed
+// over worker goroutines through the dynamic work queue. Workers observe
+// cancellation and early stops at top-branch granularity, so the call
+// returns within one branch granule of the signal with all goroutines
+// joined.
+func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats {
+	stats := s.baseStats(workers)
+	enum := time.Now()
+	emitReduced(rc, stats, s.red.Cliques, visit)
+	if rc.halted() {
+		stats.EnumTime = time.Since(enum)
+		return stats
+	}
+
+	edgeDriven := s.opts.Algorithm == EBBMC || s.opts.Algorithm == HBBMC
+	items := len(s.vertOrd)
+	if edgeDriven {
+		items = len(s.eo.Order)
+	}
+	queue := newWorkQueue(items, workers, s.opts.ParallelChunkSize)
+	sink := &emitSink{visit: visit, rc: rc}
+
+	workerStats := make([]*Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &Stats{}
+		workerStats[w] = ws
+		var batcher *emitBatcher
+		var workerEmit Visitor
+		if visit != nil {
+			if ablateStaticStride {
+				// Seed behavior under ablation: one lock round-trip per clique.
+				workerEmit = sink.emitLocked
+			} else {
+				batcher = newEmitBatcher(sink, s.opts.EmitBatchSize)
+				workerEmit = batcher.add
+			}
+		}
+		e := newEngine(s.res, s.red, s.opts, ws, workerEmit, rc)
+		configureEngine(e, s.opts)
+		e.eo, e.inc = s.eo, s.inc
+		offset := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ablateStaticStride {
+				if edgeDriven {
+					e.runEdgeOrderedRange(offset, items, workers)
+				} else {
+					e.runVertexOrderedRange(s.vertOrd, s.vertPos, offset, items, workers)
+				}
+			} else {
+				for !rc.halted() {
+					begin, end, ok := queue.next()
+					if !ok {
+						break
+					}
+					if edgeDriven {
+						e.runEdgeOrderedRange(begin, end, 1)
+					} else {
+						e.runVertexOrderedRange(s.vertOrd, s.vertPos, begin, end, 1)
+					}
+				}
+			}
+			if batcher != nil {
+				batcher.flush()
+			}
+		}()
+	}
+	wg.Wait()
+	// Isolated vertices of the edge-ordered drivers are handled once,
+	// outside the workers; with the workers joined, the sink lock is
+	// uncontended.
+	if edgeDriven && !rc.halted() {
+		e := newEngine(s.res, s.red, s.opts, stats, sink.direct(), rc)
+		configureEngine(e, s.opts)
+		e.eo, e.inc = s.eo, s.inc
+		e.runIsolatedVertices()
+	}
+	for _, ws := range workerStats {
+		stats.merge(ws)
+	}
+	// Workers count a clique when they find it, before it is batched; ones
+	// the stop latch kept from being delivered come off again so Cliques
+	// means "reported to the caller" on every path.
+	stats.Cliques -= sink.dropped
+	stats.EmitBatches = sink.batches.Load()
+	stats.EnumTime = time.Since(enum)
+	return stats
+}
+
+// runControl carries the cooperative run-state shared by every engine of
+// one query: the context's done channel, the one-way stop latch observed by
+// the recursions, and the optional clique budget of Options.MaxCliques.
+type runControl struct {
+	ctx  context.Context
+	done <-chan struct{}
+	// stop latches true when a Visitor returns false, the clique budget is
+	// exhausted, or a halted() check observes the context done. Recursions
+	// poll it (a plain atomic load) to unwind promptly.
+	stop atomic.Bool
+	// cancelled latches true only when a halted() check actually observed
+	// the done context — the run really was cut short by it. err() must not
+	// consult ctx.Err() directly: a deadline expiring after the last branch
+	// would misreport a complete run (or a budget stop) as interrupted.
+	cancelled atomic.Bool
+	// budget is the remaining clique allowance when limited; taking it below
+	// zero rejects the clique, so exactly MaxCliques cliques are counted and
+	// delivered regardless of worker count.
+	budget  atomic.Int64
+	limited bool
+}
+
+func newRunControl(ctx context.Context, opts Options) *runControl {
+	rc := &runControl{ctx: ctx, done: ctx.Done()}
+	if opts.MaxCliques > 0 {
+		rc.limited = true
+		rc.budget.Store(opts.MaxCliques)
+	}
+	return rc
+}
+
+// stopped reports the stop latch alone — the cheap check recursions poll.
+func (rc *runControl) stopped() bool { return rc.stop.Load() }
+
+// halted additionally polls the context; drivers call it once per top-level
+// branch. Observing a done context latches stop so in-flight recursions of
+// other workers unwind too.
+func (rc *runControl) halted() bool {
+	if rc.stop.Load() {
+		return true
+	}
+	select {
+	case <-rc.done:
+		rc.cancelled.Store(true)
+		rc.stop.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// take consumes one clique from the budget; false means the clique must not
+// be counted or delivered.
+func (rc *runControl) take() bool {
+	if !rc.limited {
+		return true
+	}
+	if rc.budget.Add(-1) < 0 {
+		rc.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// err translates the final control state into the query's error: a wrapped
+// context error when a cancellation or deadline was observed mid-run,
+// ErrStopped for visitor- or budget-initiated stops, nil for complete runs
+// (even if the context happens to expire between the last branch and this
+// call).
+func (rc *runControl) err() error {
+	if rc.cancelled.Load() {
+		return fmt.Errorf("core: enumeration interrupted: %w", rc.ctx.Err())
+	}
+	if rc.stop.Load() {
+		return ErrStopped
+	}
+	return nil
+}

@@ -1,63 +1,77 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Stats aggregates counters for one enumeration run. The branch counters
-// mirror the quantities reported in the paper's Tables IV and V.
+// mirror the quantities reported in the paper's Tables IV and V. The JSON
+// struct tags make runs machine-readable (durations serialise as
+// nanoseconds); String renders a one-line human summary.
 type Stats struct {
-	// Cliques is the number of maximal cliques reported.
-	Cliques int64
-	// MaxCliqueSize is the size ω of the largest clique reported.
-	MaxCliqueSize int
+	// Cliques is the number of maximal cliques reported — delivered to the
+	// Visitor when one was set, counted when not — on every path, including
+	// runs stopped early by a Visitor, Options.MaxCliques or cancellation.
+	Cliques int64 `json:"cliques"`
+	// MaxCliqueSize is the size ω of the largest clique found. When a
+	// parallel run is stopped by its Visitor, it may reflect a clique
+	// another worker found but never delivered.
+	MaxCliqueSize int `json:"max_clique_size"`
 
 	// Calls counts every recursive branch evaluation (vertex- plus
 	// edge-oriented); VertexCalls and EdgeCalls split it by phase.
-	Calls       int64
-	VertexCalls int64
-	EdgeCalls   int64
+	Calls       int64 `json:"calls"`
+	VertexCalls int64 `json:"vertex_calls"`
+	EdgeCalls   int64 `json:"edge_calls"`
 	// TopBranches counts the branches created by the top-level split.
-	TopBranches int64
+	TopBranches int64 `json:"top_branches"`
 
 	// PlexBranches is b of Table V: branches whose candidate graph is a
 	// t-plex for the configured threshold.
-	PlexBranches int64
+	PlexBranches int64 `json:"plex_branches"`
 	// EarlyTerminations is b0 of Table V: branches actually closed by the
 	// early-termination construction (t-plex candidate graph, empty
 	// exclusion graph and, in hybrid branches, no masked candidate edge).
-	EarlyTerminations int64
-	// ETCliques is the number of cliques emitted by early termination.
-	ETCliques int64
+	EarlyTerminations int64 `json:"early_terminations"`
+	// ETCliques is the number of cliques found by early termination. Like
+	// MaxCliqueSize it counts at discovery: when a parallel run is stopped
+	// by its Visitor, it may include cliques that were never delivered and
+	// can then exceed Cliques.
+	ETCliques int64 `json:"et_cliques"`
 
 	// ReducedVertices and ReductionCliques summarise the GR preprocessing.
-	ReducedVertices  int
-	ReductionCliques int64
+	ReducedVertices  int   `json:"reduced_vertices"`
+	ReductionCliques int64 `json:"reduction_cliques"`
 	// SuppressedLeaves counts residual-graph cliques rejected because a
 	// removed vertex dominated them.
-	SuppressedLeaves int64
+	SuppressedLeaves int64 `json:"suppressed_leaves"`
 
 	// Delta, Tau and HIndex are the structural parameters of the (reduced)
 	// graph when the run computed them (δ for vertex orderings, τ for the
 	// truss ordering, h for the degree ordering).
-	Delta  int
-	Tau    int
-	HIndex int
+	Delta  int `json:"delta"`
+	Tau    int `json:"tau"`
+	HIndex int `json:"h_index"`
 
 	// OrderingTime covers reduction plus ordering construction; EnumTime
 	// covers the recursive enumeration. Total run time is their sum.
-	OrderingTime time.Duration
-	EnumTime     time.Duration
+	// Session queries report zero OrderingTime — the preprocessing was paid
+	// once in NewSession (see Session.PrepTime).
+	OrderingTime time.Duration `json:"ordering_time_ns"`
+	EnumTime     time.Duration `json:"enum_time_ns"`
 
 	// Workers is the number of goroutines that actually executed the
 	// enumeration: 1 for the sequential driver (including parallel
-	// fallbacks), the effective post-clamp count for EnumerateParallel.
-	Workers int
-	// ParallelFallback is non-empty when EnumerateParallel delegated to
-	// the sequential driver, and states why (whole-graph algorithm,
-	// single worker).
-	ParallelFallback string
+	// fallbacks), the effective post-clamp count for parallel runs.
+	Workers int `json:"workers"`
+	// ParallelFallback is non-empty when a parallel run delegated to the
+	// sequential driver, and states why (whole-graph algorithm, single
+	// worker).
+	ParallelFallback string `json:"parallel_fallback,omitempty"`
 	// EmitBatches counts the batched-emit flushes of a parallel run
 	// (0 when emit was nil or the run was sequential).
-	EmitBatches int64
+	EmitBatches int64 `json:"emit_batches"`
 }
 
 // ETRatio returns b0/b of Table V (0 when no plex branches were seen).
@@ -71,4 +85,12 @@ func (s *Stats) ETRatio() float64 {
 // TotalTime returns ordering plus enumeration time.
 func (s *Stats) TotalTime() time.Duration {
 	return s.OrderingTime + s.EnumTime
+}
+
+// String renders a one-line summary of the run.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cliques=%d ω=%d branches=%d calls=%d et=%d/%d workers=%d ordering=%v enum=%v",
+		s.Cliques, s.MaxCliqueSize, s.TopBranches, s.Calls,
+		s.EarlyTerminations, s.PlexBranches, s.Workers,
+		s.OrderingTime.Round(time.Microsecond), s.EnumTime.Round(time.Microsecond))
 }

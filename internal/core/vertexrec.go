@@ -13,6 +13,9 @@ import "github.com/graphmining/hbbmc/internal/bitset"
 // C ∪ X with the most candidate neighbors and branch only on its
 // non-neighbors in C.
 func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.VertexCalls++
 	if C.IsEmpty() {
@@ -134,6 +137,9 @@ func (e *engine) xDominated(C, X bitset.Set) bool {
 // exclusion vertex covers all of C, and a candidate adjacent to every other
 // candidate is moved into S without branching.
 func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.VertexCalls++
 	if C.IsEmpty() {
@@ -208,6 +214,9 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 // at the candidate of minimum candidate-graph degree until the candidate
 // graph becomes a clique, then report S ∪ C if no exclusion vertex covers C.
 func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.VertexCalls++
 	if C.IsEmpty() {
@@ -278,6 +287,9 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 // arbitrary pivot and opportunistically adopt a better one whenever a
 // just-branched vertex would have produced fewer sub-branches.
 func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.VertexCalls++
 	if C.IsEmpty() {
@@ -334,6 +346,9 @@ func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
 // plainRec is the original Bron–Kerbosch recursion without pivoting,
 // branching on every candidate.
 func (e *engine) plainRec(adjH []bitset.Set, C, X bitset.Set) {
+	if e.rc.stopped() {
+		return
+	}
 	e.stats.Calls++
 	e.stats.VertexCalls++
 	if C.IsEmpty() {
