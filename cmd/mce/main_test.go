@@ -64,7 +64,7 @@ func TestLoadFormats(t *testing.T) {
 	if err := os.WriteFile(el, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := load(el, "edgelist")
+	g, err := load(el, "edgelist", false)
 	if err != nil || g.NumEdges() != 2 {
 		t.Fatalf("edgelist load: %v %v", g, err)
 	}
@@ -72,14 +72,49 @@ func TestLoadFormats(t *testing.T) {
 	if err := os.WriteFile(dm, []byte("p edge 3 2\ne 1 2\ne 2 3\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err = load(dm, "dimacs")
+	g, err = load(dm, "dimacs", false)
 	if err != nil || g.NumEdges() != 2 {
 		t.Fatalf("dimacs load: %v %v", g, err)
 	}
-	if _, err := load(el, "nope"); err == nil {
+	// Auto-detection handles both without a format flag.
+	for _, p := range []string{el, dm} {
+		g, err = load(p, "auto", false)
+		if err != nil || g.NumEdges() != 2 {
+			t.Fatalf("auto load %s: %v %v", p, g, err)
+		}
+	}
+	// A MatrixMarket file and a binary snapshot auto-detect too.
+	mtx := filepath.Join(dir, "g.mtx")
+	if err := os.WriteFile(mtx, []byte("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = load(mtx, "auto", false)
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("mtx load: %v %v", g, err)
+	}
+	hbg := filepath.Join(dir, "g.hbg")
+	if err := g.SaveBinaryFile(hbg); err != nil {
+		t.Fatal(err)
+	}
+	g, err = load(hbg, "auto", false)
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("hbg load: %v %v", g, err)
+	}
+	// The -cache path creates and then reuses a sidecar snapshot.
+	if _, err := load(el, "auto", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(el + ".hbg"); err != nil {
+		t.Fatalf("-cache did not write a sidecar: %v", err)
+	}
+	g, err = load(el, "auto", true)
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("cached load: %v %v", g, err)
+	}
+	if _, err := load(el, "nope", false); err == nil {
 		t.Error("unknown format should fail")
 	}
-	if _, err := load(filepath.Join(dir, "missing"), "edgelist"); err == nil {
+	if _, err := load(filepath.Join(dir, "missing"), "edgelist", false); err == nil {
 		t.Error("missing file should fail")
 	}
 }

@@ -1,5 +1,6 @@
 // Command mcebench reproduces the paper's experiments (Tables I–VI and
-// Figure 5) on the synthetic stand-in datasets.
+// Figure 5) on the synthetic stand-in datasets, and gates benchmark
+// regressions in CI via its compare mode.
 //
 // Usage:
 //
@@ -9,6 +10,9 @@
 //	mcebench -table 5 -datasets NA,WE # restrict the dataset list
 //	mcebench -reps 3                  # repeat timings, keep the fastest
 //	mcebench -table 2 -json           # stream one JSON line per timed run
+//	mcebench -cache .benchcache       # back datasets with .hbg snapshots
+//
+//	mcebench -compare BENCH_BASELINE.json -candidate bench.json
 //
 // Every run cross-checks that all configurations report identical clique
 // counts; a mismatch aborts with an error.
@@ -17,6 +21,12 @@
 // ({"dataset","config","rep","seconds","stats":{...}}, durations in
 // nanoseconds) and the human-readable tables move to stderr, so the stdout
 // stream stays machine-parseable.
+//
+// Compare mode reads two such JSON streams — a committed baseline and a
+// fresh candidate (-candidate, "-" = stdin) — groups them by (dataset,
+// config), and compares median enumerate times. It prints a delta table
+// and exits 3 when any cell is more than -threshold percent slower (default
+// 25), 0 when the gate passes, 1 on errors.
 package main
 
 import (
@@ -30,23 +40,32 @@ import (
 	"github.com/graphmining/hbbmc/internal/benchharness"
 )
 
+const exitRegression = 3
+
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table number to reproduce (1-6)")
-		figure   = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
-		all      = flag.Bool("all", false, "run every table and figure")
-		datasets = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
-		reps     = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
-		seeds    = flag.Int("seeds", 3, "random graphs per figure sweep point")
-		workers  = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON line per timed run on stdout (tables move to stderr)")
+		table     = flag.Int("table", 0, "table number to reproduce (1-6)")
+		figure    = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
+		all       = flag.Bool("all", false, "run every table and figure")
+		datasets  = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
+		reps      = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
+		seeds     = flag.Int("seeds", 3, "random graphs per figure sweep point")
+		workers   = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
+		jsonOut   = flag.Bool("json", false, "emit one JSON line per timed run on stdout (tables move to stderr)")
+		cacheDir  = flag.String("cache", "", "directory for .hbg dataset snapshots (empty = rebuild in-process)")
+		compare   = flag.String("compare", "", "baseline JSON file: compare -candidate against it instead of running benchmarks")
+		candidate = flag.String("candidate", "-", "candidate JSON file for -compare (\"-\" = stdin)")
+		threshold = flag.Float64("threshold", 25, "percent slowdown of a cell's median enumerate time that fails -compare")
 	)
 	flag.Parse()
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *candidate, *threshold))
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	cfg := benchharness.Config{Reps: *reps, Workers: *workers}
+	cfg := benchharness.Config{Reps: *reps, Workers: *workers, CacheDir: *cacheDir}
 	if *datasets != "" {
 		for _, d := range strings.Split(*datasets, ",") {
 			cfg.Datasets = append(cfg.Datasets, strings.TrimSpace(d))
@@ -124,6 +143,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runCompare executes the benchmark-regression gate and returns the exit
+// code: 0 pass, exitRegression on a regression.
+func runCompare(baselinePath, candidatePath string, threshold float64) int {
+	baseline, err := os.Open(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcebench:", err)
+		return 1
+	}
+	defer baseline.Close()
+	cand := io.Reader(os.Stdin)
+	if candidatePath != "-" {
+		f, err := os.Open(candidatePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcebench:", err)
+			return 1
+		}
+		defer f.Close()
+		cand = f
+	}
+	table, regressions, err := benchharness.Compare(baseline, cand, threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcebench:", err)
+		return 1
+	}
+	if err := table.Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcebench:", err)
+		return 1
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "mcebench: %d benchmark regression(s) beyond +%.0f%%:\n", len(regressions), threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		return exitRegression
+	}
+	fmt.Printf("mcebench: benchmark gate passed (%d cells within +%.0f%%)\n", len(table.Rows), threshold)
+	return 0
 }
 
 func fatal(err error) {

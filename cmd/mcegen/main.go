@@ -7,15 +7,18 @@
 //	mcegen -model sbm -communities 50 -size 100 -pin 0.5 -pout 0.01 -out sbm.txt
 //	mcegen -model moonmoser -s 10 -out mm.txt
 //	mcegen -dataset OR -out orkut-standin.txt
+//	mcegen -model er -n 100000 -m 2000000 -out er.hbg
 //
 // The -dataset flag materialises one of the paper's Table I stand-ins (see
-// internal/dataset).
+// internal/dataset). An -out path ending in .hbg writes the binary CSR
+// snapshot instead of text, which the other commands load directly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	hbbmc "github.com/graphmining/hbbmc"
 	"github.com/graphmining/hbbmc/internal/dataset"
@@ -61,6 +64,13 @@ func main() {
 		}
 	}
 
+	if strings.HasSuffix(strings.ToLower(*out), ".hbg") {
+		if err := g.SaveBinaryFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mcegen: wrote %d vertices, %d edges (binary snapshot)\n", g.NumVertices(), g.NumEdges())
+		return
+	}
 	dst := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -1,6 +1,9 @@
 // Command mceverify checks a clique file against a graph: every line must
 // be a clique, maximal, and distinct; optionally the total is compared with
-// a fresh enumeration by a reference engine.
+// a fresh enumeration by a reference engine. The graph loads in any
+// supported format (auto-detected: edge list, DIMACS, MatrixMarket, METIS,
+// .hbg snapshot, optionally gzipped), so the verified input can be the
+// exact file mce consumed.
 //
 // Usage:
 //
@@ -22,8 +25,9 @@ import (
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "graph edge-list file (required)")
+		graphPath  = flag.String("graph", "", "graph file, any supported format (required)")
 		cliquePath = flag.String("cliques", "", "clique file, one clique per line (required)")
+		format     = flag.String("format", "auto", "graph format: auto|edgelist|dimacs|mtx|metis|hbg")
 		recount    = flag.Bool("recount", false, "re-enumerate with BK_Degen and compare the count")
 	)
 	flag.Parse()
@@ -31,7 +35,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := hbbmc.LoadEdgeListFile(*graphPath)
+	gf, err := hbbmc.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := hbbmc.LoadFile(*graphPath, hbbmc.LoadOptions{Format: gf})
 	if err != nil {
 		fatal(err)
 	}

@@ -73,6 +73,34 @@
 // slightly after its discovery. As in the sequential driver, the slice
 // passed to the Visitor is reused — copy it to retain it.
 //
+// # Input formats and the binary snapshot cache
+//
+// LoadFile reads a graph in any supported format, auto-detected from
+// content and file extension (and transparently gunzipped when the gzip
+// magic bytes lead the file):
+//
+//   - SNAP/plain edge lists: "u v" per line, '#'/'%' comments, an ignored
+//     third column (LoadEdgeList; ParseEdgeList parses in-memory input on
+//     all cores by sharding it at line boundaries)
+//   - DIMACS clique/coloring files: "p edge n m" / "e u v" (LoadDIMACS)
+//   - MatrixMarket coordinate files: "%%MatrixMarket matrix coordinate ...",
+//     1-based indices, values ignored, any symmetry
+//   - METIS/Chaco adjacency files, detected by the .metis/.graph extension
+//     (the format has no content signature); vertex/edge weights are
+//     honored per the fmt code and skipped
+//   - .hbg binary CSR snapshots ("HBGF" magic)
+//
+// The .hbg snapshot is this library's versioned binary format: the CSR
+// offsets and adjacency of a parsed graph plus a CRC-32C, written by
+// Graph.SaveBinary and reloaded by LoadBinary in a single sequential read —
+// one to two orders of magnitude faster than re-parsing text, since
+// sorting, deduplication and edge-id assignment are already encoded.
+// LoadFileCached wires the two together: it keeps a "<input>.hbg" sidecar
+// next to any text input (invalidated by modification time) so every load
+// after the first skips parsing entirely. The mce and mceverify commands
+// expose this as -cache, mcebench as -cache <dir> for its synthetic
+// datasets, and mcegen writes snapshots directly when -out ends in .hbg.
+//
 // # Migrating from the one-shot functions
 //
 // The top-level Enumerate, EnumerateParallel, Count, CountParallel and

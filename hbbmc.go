@@ -38,6 +38,58 @@ func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFi
 // LoadDIMACS parses the DIMACS clique format ("p edge n m" / "e u v").
 func LoadDIMACS(r io.Reader) (*Graph, error) { return graph.LoadDIMACS(r) }
 
+// Format identifies a graph input format (edge list, DIMACS, MatrixMarket,
+// METIS, .hbg binary snapshot) for the multi-format loader.
+type Format = graph.Format
+
+// Format constants for LoadOptions.Format.
+const (
+	FormatAuto         = graph.FormatAuto
+	FormatEdgeList     = graph.FormatEdgeList
+	FormatDIMACS       = graph.FormatDIMACS
+	FormatMatrixMarket = graph.FormatMatrixMarket
+	FormatMETIS        = graph.FormatMETIS
+	FormatBinary       = graph.FormatBinary
+)
+
+// LoadOptions configures Load/LoadFile/LoadFileCached.
+type LoadOptions = graph.LoadOptions
+
+// ParseFormat maps a flag spelling ("auto", "edgelist", "dimacs", "mtx",
+// "metis", "hbg", ...) to a Format.
+func ParseFormat(s string) (Format, error) { return graph.ParseFormat(s) }
+
+// DetectFormat sniffs the format of (decompressed) input data, with path as
+// a hint for formats without a content signature.
+func DetectFormat(data []byte, path string) Format { return graph.DetectFormat(data, path) }
+
+// Load reads a graph in any supported format from r, decompressing gzip
+// transparently (detected by magic bytes).
+func Load(r io.Reader, opts LoadOptions) (*Graph, error) { return graph.Load(r, opts) }
+
+// LoadFile reads a graph file in any supported format, using the extension
+// as a detection hint and decompressing gzip transparently.
+func LoadFile(path string, opts LoadOptions) (*Graph, error) { return graph.LoadFile(path, opts) }
+
+// LoadFileCached is LoadFile backed by a binary .hbg sidecar snapshot
+// (graph.CachePath): a fresh sidecar is loaded instead of parsing, and a
+// parse writes the sidecar best-effort so the next load skips it.
+func LoadFileCached(path string, opts LoadOptions) (*Graph, bool, error) {
+	return graph.LoadFileCached(path, opts)
+}
+
+// ParseEdgeList parses an in-memory edge list on up to workers goroutines
+// (0 = all cores), producing the same graph as LoadEdgeList.
+func ParseEdgeList(data []byte, workers int) (*Graph, error) {
+	return graph.ParseEdgeList(data, workers)
+}
+
+// LoadBinary reads a .hbg binary CSR snapshot (see Graph.SaveBinary).
+func LoadBinary(r io.Reader) (*Graph, error) { return graph.LoadBinary(r) }
+
+// LoadBinaryFile opens and parses a .hbg snapshot file.
+func LoadBinaryFile(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
 // Options configures an enumeration run; see the field documentation in
 // internal/core for the full contract of each knob.
 type Options = core.Options

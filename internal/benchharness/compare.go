@@ -1,0 +1,127 @@
+package benchharness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Compare implements the CI benchmark-regression gate: it reads two
+// `mcebench -json` streams (one runRecord JSON line per timed run), groups
+// the records by (dataset, config), and compares the median enumeration
+// time of each cell. A cell whose candidate median is more than
+// thresholdPct percent slower than its baseline median is a regression.
+//
+// The returned table lists every comparable cell with its delta; the
+// regression slice names the failing cells (empty = gate passes). Cells
+// present on only one side are reported in the table notes and never fail
+// the gate, so adding or retiring datasets does not require regenerating
+// the baseline in the same commit.
+func Compare(baseline, candidate io.Reader, thresholdPct float64) (*Table, []string, error) {
+	base, err := readRuns(baseline)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchharness: baseline: %v", err)
+	}
+	cand, err := readRuns(candidate)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchharness: candidate: %v", err)
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Benchmark comparison (median enumerate time, fail at +%.0f%%)", thresholdPct),
+		Header: []string{"Graph", "Config", "Baseline(s)", "Candidate(s)", "Delta", "Verdict"},
+	}
+	var regressions []string
+	common := 0
+	for _, key := range sortedKeys(base) {
+		cRuns, ok := cand[key]
+		if !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: in baseline only", key.dataset, key.config))
+			continue
+		}
+		common++
+		b, c := median(base[key]), median(cRuns)
+		deltaPct := 100 * (c - b) / b
+		verdict := "ok"
+		if deltaPct > thresholdPct {
+			verdict = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s/%s: %.3fs -> %.3fs (%+.1f%%)",
+				key.dataset, key.config, b, c, deltaPct))
+		}
+		t.Rows = append(t.Rows, []string{
+			key.dataset, key.config,
+			fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", c),
+			fmt.Sprintf("%+.1f%%", deltaPct), verdict,
+		})
+	}
+	for _, key := range sortedKeys(cand) {
+		if _, ok := base[key]; !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: in candidate only (refresh the baseline to gate it)", key.dataset, key.config))
+		}
+	}
+	if common == 0 {
+		return nil, nil, errors.New("benchharness: baseline and candidate share no (dataset, config) cells")
+	}
+	return t, regressions, nil
+}
+
+// cellKey identifies one benchmark cell across runs.
+type cellKey struct {
+	dataset, config string
+}
+
+// readRuns parses a stream of runRecord JSON lines into per-cell samples of
+// enumeration seconds. Stats.EnumTime isolates the quantity the gate
+// protects (the enumeration hot path); records without stats fall back to
+// the wall-clock cell time.
+func readRuns(r io.Reader) (map[cellKey][]float64, error) {
+	dec := json.NewDecoder(r)
+	runs := make(map[cellKey][]float64)
+	for {
+		var rec runRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing run record: %v", err)
+		}
+		if rec.Dataset == "" || rec.Config == "" {
+			return nil, fmt.Errorf("run record without dataset/config")
+		}
+		sec := rec.Seconds
+		if rec.Stats != nil && rec.Stats.EnumTime > 0 {
+			sec = rec.Stats.EnumTime.Seconds()
+		}
+		key := cellKey{rec.Dataset, rec.Config}
+		runs[key] = append(runs[key], sec)
+	}
+	if len(runs) == 0 {
+		return nil, errors.New("no run records")
+	}
+	return runs, nil
+}
+
+func sortedKeys(m map[cellKey][]float64) []cellKey {
+	keys := make([]cellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].config < keys[j].config
+	})
+	return keys
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,94 @@
+package benchharness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/graphmining/hbbmc/internal/core"
+)
+
+// lines renders runRecord JSON lines for one cell with the given
+// enumeration times in milliseconds.
+func lines(t *testing.T, ds, config string, ms ...int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i, v := range ms {
+		writeRecord(&sb, runRecord{
+			Dataset: ds, Config: config, Rep: i,
+			Seconds: float64(v) / 1000 * 1.5, // wall time noisier than enum time
+			Stats:   &core.Stats{EnumTime: time.Duration(v) * time.Millisecond},
+		})
+	}
+	return sb.String()
+}
+
+func TestCompareMedians(t *testing.T) {
+	// Candidate medians: NA/H 100→110 (+10%, ok), NA/R 100→200 (+100%,
+	// regressed), WE/H 50→40 (faster, ok). Odd rep counts make the median
+	// unambiguous; the outlier reps must not trip the gate.
+	base := lines(t, "NA", "HBBMC++", 100, 100, 900) + lines(t, "NA", "RRef", 100) + lines(t, "WE", "HBBMC++", 50)
+	cand := lines(t, "NA", "HBBMC++", 110, 5000, 90) + lines(t, "NA", "RRef", 200) + lines(t, "WE", "HBBMC++", 40)
+
+	table, regressions, err := Compare(strings.NewReader(base), strings.NewReader(cand), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(table.Rows))
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "NA/RRef") {
+		t.Fatalf("regressions = %v, want exactly NA/RRef", regressions)
+	}
+	var sb strings.Builder
+	if err := table.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "+100.0%") {
+		t.Fatalf("table misses the regression row:\n%s", out)
+	}
+}
+
+func TestCompareDisjointCells(t *testing.T) {
+	base := lines(t, "NA", "HBBMC++", 100) + lines(t, "OLD", "HBBMC++", 10)
+	cand := lines(t, "NA", "HBBMC++", 100) + lines(t, "NEW", "HBBMC++", 10)
+	table, regressions, err := Compare(strings.NewReader(base), strings.NewReader(cand), 25)
+	if err != nil || len(regressions) != 0 {
+		t.Fatalf("err=%v regressions=%v", err, regressions)
+	}
+	if len(table.Rows) != 1 || len(table.Notes) != 2 {
+		t.Fatalf("rows=%d notes=%v", len(table.Rows), table.Notes)
+	}
+
+	// Fully disjoint streams cannot gate anything.
+	if _, _, err := Compare(strings.NewReader(lines(t, "A", "x", 1)), strings.NewReader(lines(t, "B", "x", 1)), 25); err == nil {
+		t.Fatal("disjoint cells must error")
+	}
+}
+
+func TestCompareBadInput(t *testing.T) {
+	good := lines(t, "NA", "HBBMC++", 100)
+	for name, bad := range map[string]string{
+		"empty":      "",
+		"not json":   "hello\n",
+		"no dataset": `{"config":"x","seconds":1}` + "\n",
+	} {
+		if _, _, err := Compare(strings.NewReader(bad), strings.NewReader(good), 25); err == nil {
+			t.Errorf("%s baseline: expected error", name)
+		}
+		if _, _, err := Compare(strings.NewReader(good), strings.NewReader(bad), 25); err == nil {
+			t.Errorf("%s candidate: expected error", name)
+		}
+	}
+}
+
+func TestCompareFallsBackToSeconds(t *testing.T) {
+	// Records without stats (foreign producers) gate on wall seconds.
+	base := `{"dataset":"NA","config":"H","rep":0,"seconds":1.0}` + "\n"
+	cand := `{"dataset":"NA","config":"H","rep":0,"seconds":2.0}` + "\n"
+	_, regressions, err := Compare(strings.NewReader(base), strings.NewReader(cand), 25)
+	if err != nil || len(regressions) != 1 {
+		t.Fatalf("err=%v regressions=%v", err, regressions)
+	}
+}

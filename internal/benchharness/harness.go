@@ -36,6 +36,19 @@ type Config struct {
 	// JSON, when non-nil, receives one machine-readable JSON line per timed
 	// run (see runRecord) in addition to the rendered tables.
 	JSON io.Writer
+	// CacheDir, when non-empty, backs dataset construction with .hbg
+	// snapshots in that directory (dataset.Spec.BuildCached), so repeated
+	// harness processes skip the synthetic generation entirely.
+	CacheDir string
+}
+
+// buildSpec materialises one dataset, through the snapshot cache when
+// configured.
+func (c Config) buildSpec(s dataset.Spec) (*graph.Graph, error) {
+	if c.CacheDir == "" {
+		return s.Build(), nil
+	}
+	return s.BuildCached(c.CacheDir)
 }
 
 // runRecord is the JSON line emitted per timed run when Config.JSON (or
@@ -169,7 +182,10 @@ func runGrid(cfg Config, options []namedOption, mkRow func(ds string, cells []ce
 	}
 	table := &Table{}
 	for _, spec := range specs {
-		g := spec.Build()
+		g, err := cfg.buildSpec(spec)
+		if err != nil {
+			return nil, err
+		}
 		cells := make([]cell, len(options))
 		for i, opt := range options {
 			c, err := run(g, opt.opts, cfg.reps(), cfg.Workers, cfg.JSON, spec.Name, opt.name)
@@ -217,7 +233,10 @@ func Table1(cfg Config) (*Table, error) {
 		},
 	}
 	for _, spec := range specs {
-		g := spec.Build()
+		g, err := cfg.buildSpec(spec)
+		if err != nil {
+			return nil, err
+		}
 		delta := order.DegeneracyOrdering(g).Value
 		tau := truss.Decompose(g).Tau
 		rho := g.Density()

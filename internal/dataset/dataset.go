@@ -25,7 +25,10 @@ package dataset
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -128,6 +131,41 @@ func (s Spec) Build() *graph.Graph {
 	cache[s.Name] = g
 	return g
 }
+
+// BuildCached is Build backed by a .hbg snapshot under dir, so repeated
+// processes (benchmark runs, CI jobs) skip the generation cost entirely.
+// The file name carries a fingerprint of the generator parameters: changing
+// a spec invalidates its snapshot instead of serving a stale graph. Both
+// the snapshot load and the save are best-effort — on any snapshot problem
+// the graph is simply rebuilt — but an unwritable dir reports an error so
+// misconfigured cache paths are not silently ignored.
+func (s Spec) BuildCached(dir string) (*graph.Graph, error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s-%x.hbg", s.Name, s.fingerprint()))
+	if g, err := graph.LoadBinaryFile(path); err == nil {
+		return g, nil
+	}
+	g := s.Build()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: cache dir: %w", err)
+	}
+	if err := g.SaveBinaryFile(path); err != nil {
+		return nil, fmt.Errorf("dataset: caching %s: %w", s.Name, err)
+	}
+	return g, nil
+}
+
+// fingerprint hashes every generator parameter of the spec.
+func (s Spec) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d", hbgSpecVersion,
+		s.n, s.baK, s.poolN, s.poolCliques, s.poolSize,
+		s.cliqueCount, s.cliqueSize, s.bigClique, s.noise, s.seed)
+	return h.Sum64()
+}
+
+// hbgSpecVersion invalidates all dataset snapshots when the generator
+// algorithm itself changes (bump on any build() edit).
+const hbgSpecVersion = 1
 
 func (s Spec) build() *graph.Graph {
 	rng := rand.New(rand.NewSource(s.seed))

@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/graphmining/hbbmc/internal/core"
@@ -102,5 +104,48 @@ func TestEnumerableQuickly(t *testing.T) {
 	}
 	if c1 != c2 || c1 == 0 {
 		t.Fatalf("count mismatch: hbbmc=%d degen=%d", c1, c2)
+	}
+}
+
+// TestBuildCached verifies the .hbg snapshot cache: a cold call writes the
+// snapshot, a warm call serves the identical graph from it, and changed
+// generator parameters miss the cache instead of serving a stale graph.
+func TestBuildCached(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := ByName("NA")
+
+	g1, err := spec.BuildCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache dir has %d entries, want 1", len(entries))
+	}
+	g2, err := spec.BuildCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(g1) {
+		t.Fatal("cached graph differs from generated graph")
+	}
+
+	// A parameter change fingerprints to a different snapshot.
+	tweaked := spec
+	tweaked.noise++
+	if _, err := tweaked.BuildCached(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Fatalf("tweaked spec reused the snapshot (%d entries)", len(entries))
+	}
+
+	// An unwritable cache dir is an error, not a silent fallthrough.
+	if _, err := spec.BuildCached(filepath.Join(dir, "no", "such", "\x00dir")); err == nil {
+		t.Fatal("bad cache dir should error")
 	}
 }

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := []*Graph{
+		NewBuilder(0).MustBuild(), // empty
+		NewBuilder(5).MustBuild(), // isolated vertices only
+		randomGraph(rng, 2, 4),    // single edge territory
+		randomGraph(rng, 40, 200),
+		randomGraph(rng, 500, 3000),
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.SaveBinary(&buf); err != nil {
+			t.Fatalf("graph %d: save: %v", i, err)
+		}
+		got, err := LoadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("graph %d: load: %v", i, err)
+		}
+		if !got.Equal(g) {
+			t.Fatalf("graph %d: binary round trip changed the representation", i)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(9)), 100, 500)
+	path := filepath.Join(t.TempDir(), "g.hbg")
+	if err := g.SaveBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(g) {
+		t.Fatal("file round trip changed the representation")
+	}
+	// The atomic save must not leave temp files behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the snapshot", len(entries))
+	}
+}
+
+func snapshotBytes(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadBinaryRejectsCorruption(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 30, 120)
+	good := snapshotBytes(t, g)
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), good...))
+		if _, err := LoadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	corrupt("truncated header", func(b []byte) []byte { return b[:10] })
+	corrupt("truncated payload", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xFF) })
+	corrupt("flipped payload bit", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b })
+	corrupt("checksum mismatch", func(b []byte) []byte { b[24] ^= 0xFF; return b })
+	corrupt("giant n", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:16], 1<<40)
+		return b
+	})
+	corrupt("giant m", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:24], 1<<40)
+		return b
+	})
+	corrupt("empty", func(b []byte) []byte { return nil })
+}
+
+// TestLoadBinaryRejectsInvalidStructure crafts checksummed payloads whose
+// CSR arrays are structurally wrong; csrToGraph must reject each.
+func TestLoadBinaryRejectsInvalidStructure(t *testing.T) {
+	mk := func(offsets []int64, adj []int32) []byte {
+		g := &Graph{offsets: offsets, adj: adj,
+			eids: make([]int32, len(adj)), srcs: make([]int32, len(adj)/2), dsts: make([]int32, len(adj)/2)}
+		var buf bytes.Buffer
+		if err := g.SaveBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := map[string][]byte{
+		"asymmetric adjacency":   mk([]int64{0, 1, 2, 2}, []int32{1, 2}), // 0→1 but 1→2
+		"self loop":              mk([]int64{0, 1, 2}, []int32{0, 1}),
+		"unsorted adjacency":     mk([]int64{0, 2, 3, 4}, []int32{2, 1, 0, 0}),
+		"out-of-range neighbor":  mk([]int64{0, 1, 2}, []int32{5, 0}),
+		"negative neighbor":      mk([]int64{0, 1, 2}, []int32{-1, 0}),
+		"decreasing offsets":     mk([]int64{0, 2, 1, 4}, []int32{1, 2, 0, 0}),
+		"offsets overshoot":      mk([]int64{0, 1, 2, 5}, []int32{1, 0, 2, 2}),
+		"duplicate one-way edge": mk([]int64{0, 2, 2, 2}, []int32{1, 1}),
+	}
+	for name, b := range cases {
+		if _, err := LoadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// TestBinaryAfterEveryLoader ties the formats together: parse each format,
+// snapshot, reload, compare.
+func TestBinaryAfterEveryLoader(t *testing.T) {
+	inputs := map[string]func() (*Graph, error){
+		"edgelist": func() (*Graph, error) { return ParseEdgeList([]byte("0 1\n1 2\n2 0\n3 1\n"), 2) },
+		"dimacs": func() (*Graph, error) {
+			return LoadDIMACS(bytes.NewReader([]byte("p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n")))
+		},
+		"mtx": func() (*Graph, error) {
+			return ParseMatrixMarket([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 2\n4 1\n"), 2)
+		},
+		"metis": func() (*Graph, error) { return ParseMETIS([]byte("4 3\n2 3\n1 3\n1 2\n\n")) },
+	}
+	for name, parse := range inputs {
+		g, err := parse()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadBinary(bytes.NewReader(snapshotBytes(t, g)))
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		if !got.Equal(g) {
+			t.Fatalf("%s: snapshot round trip changed the representation", name)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDetectFormat(t *testing.T) {
+	hbg := snapshotBytes(t, NewBuilder(3).MustBuild())
+	cases := []struct {
+		data string
+		path string
+		want Format
+	}{
+		{"0 1\n1 2\n", "g.txt", FormatEdgeList},
+		{"# snap comment\n0 1\n", "", FormatEdgeList},
+		{"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n", "whatever.bin", FormatMatrixMarket},
+		{"%%matrixmarket matrix coordinate real general\n2 2 1\n1 2 0.5\n", "", FormatMatrixMarket},
+		{"c dimacs comment\np edge 3 2\ne 1 2\n", "", FormatDIMACS},
+		{"e 1 2\n", "", FormatDIMACS},
+		{"0 1\n", "g.col", FormatDIMACS},
+		{"3 2\n2 3\n1 3\n1 2\n", "g.metis", FormatMETIS},
+		{"3 2\n2 3\n1 3\n1 2\n", "g.graph", FormatMETIS},
+		{"3 2\n2 3\n1 3\n1 2\n", "g.txt", FormatEdgeList}, // METIS needs the extension
+		{"0 1\n", "g.mtx", FormatMatrixMarket},
+		{"0 1\n", "g.mtx.gz", FormatMatrixMarket}, // .gz stripped for the hint
+		{string(hbg), "g.txt", FormatBinary},      // magic beats extension
+		{"", "g.hbg", FormatBinary},
+	}
+	for _, c := range cases {
+		if got := DetectFormat([]byte(c.data), c.path); got != c.want {
+			t.Errorf("DetectFormat(%.20q, %q) = %v, want %v", c.data, c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"auto": FormatAuto, "": FormatAuto,
+		"edgelist": FormatEdgeList, "EL": FormatEdgeList, "snap": FormatEdgeList,
+		"dimacs": FormatDIMACS,
+		"mtx":    FormatMatrixMarket, "MatrixMarket": FormatMatrixMarket,
+		"metis": FormatMETIS,
+		"hbg":   FormatBinary, "binary": FormatBinary,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("nope"); err == nil {
+		t.Error("ParseFormat(nope) should fail")
+	}
+	// Round-trip: every format's String spelling parses back to itself.
+	for _, f := range []Format{FormatAuto, FormatEdgeList, FormatDIMACS, FormatMatrixMarket, FormatMETIS, FormatBinary} {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%v.String()) = %v, %v", f, got, err)
+		}
+	}
+}
+
+func TestParseMatrixMarket(t *testing.T) {
+	// A symmetric pattern file with comments between header and size line.
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n" +
+		"% generated\n\n" +
+		"5 5 4\n" +
+		"2 1\n3 1\n4 3\n3 3\n" // includes one diagonal entry, dropped
+	g, err := ParseMatrixMarket([]byte(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 5/3", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("missing expected edges")
+	}
+
+	// General real file: both orientations collapse, values ignored.
+	in = "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 2 0.5\n2 1 0.5\n2 3 1.25\n3 3 9\n"
+	g, err = ParseMatrixMarket([]byte(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 3/2", g.NumVertices(), g.NumEdges())
+	}
+
+	// Declared dimension beyond the largest index keeps isolated vertices.
+	g, err = ParseMatrixMarket([]byte("%%MatrixMarket matrix coordinate pattern general\n9 9 1\n1 2\n"), 1)
+	if err != nil || g.NumVertices() != 9 {
+		t.Fatalf("isolated tail: n=%d err=%v", g.NumVertices(), err)
+	}
+
+	for name, bad := range map[string]string{
+		"no banner":                     "1 2\n",
+		"array format":                  "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"not square":                    "%%MatrixMarket matrix coordinate pattern general\n3 4 1\n1 2\n",
+		"no size line":                  "%%MatrixMarket matrix coordinate pattern general\n% nothing\n",
+		"zero index":                    "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n0 2\n",
+		"index over n":                  "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 4\n",
+		"bad size line":                 "%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+		"truncated body (nnz mismatch)": "%%MatrixMarket matrix coordinate pattern general\n5 5 4\n1 2\n2 3\n",
+		"excess body (nnz mismatch)":    "%%MatrixMarket matrix coordinate pattern general\n5 5 1\n1 2\n2 3\n",
+	} {
+		if _, err := ParseMatrixMarket([]byte(bad), 2); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestParseMETIS(t *testing.T) {
+	// The METIS manual's example graph: 7 vertices, 11 edges.
+	in := "% the manual's example\n7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n"
+	g, err := ParseMETIS([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 7 || g.NumEdges() != 11 {
+		t.Fatalf("n=%d m=%d, want 7/11", g.NumVertices(), g.NumEdges())
+	}
+
+	// fmt=1: edge weights interleaved; fmt=11 adds one vertex weight.
+	in = "3 2 1\n2 7 3 9\n1 7\n1 9\n"
+	g, err = ParseMETIS([]byte(in))
+	if err != nil || g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatalf("edge weights: g=%v err=%v", g, err)
+	}
+	in = "3 2 11 1\n10 2 7 3 9\n20 1 7\n30 1 9\n"
+	g, err = ParseMETIS([]byte(in))
+	if err != nil || g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatalf("vertex+edge weights: g=%v err=%v", g, err)
+	}
+
+	// Blank lines are isolated vertices; comments don't consume a vertex.
+	in = "3 1\n2\n1\n% trailing comment\n\n"
+	g, err = ParseMETIS([]byte(in))
+	if err != nil || g.NumVertices() != 3 || g.NumEdges() != 1 || g.Degree(2) != 0 {
+		t.Fatalf("isolated vertex: g=%v err=%v", g, err)
+	}
+
+	for name, bad := range map[string]string{
+		"no header":       "",
+		"header junk":     "x y\n",
+		"too few lines":   "3 1\n2\n1\n",      // declares 3 vertices, has 2 lines
+		"extra data line": "2 1\n2\n1\n1 2\n", // line beyond n
+		"neighbor 0":      "2 1\n2\n0\n",      // ids are 1-based
+		"neighbor over n": "2 1\n2\n9\n",      //
+		"edge miscount":   "3 5\n2 3\n1\n1\n", // header m=5, lists 2
+		"bad fmt code":    "2 1 7\n2\n1\n",    //
+		"bad value":       "2 1\n2x\n1\n",     //
+	} {
+		if _, err := ParseMETIS([]byte(bad)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadGzip(t *testing.T) {
+	text := []byte("0 1\n1 2\n2 3\n")
+	want, err := ParseEdgeList(text, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(bytes.NewReader(gzipBytes(t, text)), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("gzip edge list differs from plain parse")
+	}
+	// Gzip around a binary snapshot also sniffs correctly.
+	g, err = Load(bytes.NewReader(gzipBytes(t, snapshotBytes(t, want))), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("gzip .hbg differs")
+	}
+	if _, err := Load(bytes.NewReader([]byte{0x1f, 0x8b, 0xff}), LoadOptions{}); err == nil {
+		t.Error("corrupt gzip should fail")
+	}
+}
+
+func TestLoadFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	want, _ := ParseEdgeList([]byte("0 1\n1 2\n"), 1)
+
+	el := write("g.txt", []byte("0 1\n1 2\n"))
+	mtx := write("g.mtx", []byte("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n"))
+	metis := write("g.metis", []byte("3 2\n2\n1 3\n2\n"))
+	elgz := write("g2.txt.gz", gzipBytes(t, []byte("0 1\n1 2\n")))
+	hbg := write("g.hbg", snapshotBytes(t, want))
+	dimacs := write("g.col", []byte("p edge 3 2\ne 1 2\ne 2 3\n"))
+
+	for _, p := range []string{el, mtx, metis, elgz, hbg, dimacs} {
+		g, err := LoadFile(p, LoadOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !g.Equal(want) {
+			t.Fatalf("%s: auto-detected load differs from the reference", p)
+		}
+	}
+	// Forcing a wrong format must fail, not misparse.
+	if _, err := LoadFile(mtx, LoadOptions{Format: FormatBinary}); err == nil {
+		t.Error("forcing hbg on a mtx file should fail")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing"), LoadOptions{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadFileCached(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(src, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g1, fromCache, err := LoadFileCached(src, LoadOptions{})
+	if err != nil || fromCache {
+		t.Fatalf("first load: fromCache=%v err=%v", fromCache, err)
+	}
+	if _, err := os.Stat(CachePath(src, FormatAuto)); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	// The sidecar serves only when strictly newer than the source; age the
+	// source so the comparison is deterministic on coarse filesystems.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(src, past, past); err != nil {
+		t.Fatal(err)
+	}
+	g2, fromCache, err := LoadFileCached(src, LoadOptions{})
+	if err != nil || !fromCache {
+		t.Fatalf("second load: fromCache=%v err=%v", fromCache, err)
+	}
+	if !g2.Equal(g1) {
+		t.Fatal("cached load differs from parsed load")
+	}
+
+	// Updating the source invalidates the sidecar.
+	time.Sleep(10 * time.Millisecond)
+	if err := os.WriteFile(src, []byte("0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(src, future, future); err != nil {
+		t.Fatal(err)
+	}
+	g3, fromCache, err := LoadFileCached(src, LoadOptions{})
+	if err != nil || fromCache {
+		t.Fatalf("stale sidecar: fromCache=%v err=%v", fromCache, err)
+	}
+	if g3.NumEdges() != 3 {
+		t.Fatalf("stale sidecar served: %d edges", g3.NumEdges())
+	}
+
+	// A corrupt sidecar falls back to parsing (and is rewritten), even when
+	// its timestamp says fresh.
+	if err := os.WriteFile(CachePath(src, FormatAuto), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresher := future.Add(time.Hour)
+	if err := os.Chtimes(CachePath(src, FormatAuto), fresher, fresher); err != nil {
+		t.Fatal(err)
+	}
+	g4, fromCache, err := LoadFileCached(src, LoadOptions{})
+	if err != nil || fromCache || g4.NumEdges() != 3 {
+		t.Fatalf("corrupt sidecar: fromCache=%v err=%v", fromCache, err)
+	}
+
+	// A .hbg input never gets a second sidecar.
+	hbg := filepath.Join(dir, "direct.hbg")
+	if err := g3.SaveBinaryFile(hbg); err != nil {
+		t.Fatal(err)
+	}
+	g5, fromCache, err := LoadFileCached(hbg, LoadOptions{})
+	if err != nil || !g5.Equal(g3) {
+		t.Fatalf("hbg input: %v (fromCache=%v)", err, fromCache)
+	}
+	if _, err := os.Stat(hbg + ".hbg"); !os.IsNotExist(err) {
+		t.Error("binary input must not spawn a sidecar")
+	}
+
+	// CachePath keeps the full name — including .gz — and infixes a forced
+	// format, so compressed/uncompressed copies and different format
+	// interpretations of one file all use distinct sidecars.
+	if got := CachePath("x/y/graph.txt.gz", FormatAuto); got != "x/y/graph.txt.gz.hbg" {
+		t.Errorf("CachePath gz = %q", got)
+	}
+	if got := CachePath("graph.mtx", FormatAuto); got != "graph.mtx.hbg" {
+		t.Errorf("CachePath = %q", got)
+	}
+	if got := CachePath("g.graph", FormatMETIS); got != "g.graph.metis.hbg" {
+		t.Errorf("CachePath metis = %q", got)
+	}
+}
+
+// TestLoadFileCachedFormatIsolation pins the fix for the METIS/edge-list
+// ambiguity: the same file cached under one forced format must never be
+// served to a load that forces the other.
+func TestLoadFileCachedFormatIsolation(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g.graph")
+	// Valid under both dialects, but different graphs: as METIS, the header
+	// "3 3" declares 3 vertices; as an edge list the same line is the edge
+	// (3,3) (a dropped self-loop) and ids run to 3, so n=4.
+	if err := os.WriteFile(src, []byte("3 3\n2 3\n1 3\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	el, fromCache, err := LoadFileCached(src, LoadOptions{Format: FormatEdgeList})
+	if err != nil || fromCache || el.NumVertices() != 4 {
+		t.Fatalf("edgelist: n=%d fromCache=%v err=%v", el.NumVertices(), fromCache, err)
+	}
+	me, fromCache, err := LoadFileCached(src, LoadOptions{Format: FormatMETIS})
+	if err != nil || fromCache || me.NumVertices() != 3 {
+		t.Fatalf("metis after edgelist cache: n=%d fromCache=%v err=%v", me.NumVertices(), fromCache, err)
+	}
+}
+
+// TestLongLineMETIS covers the real-world long-line case: one vertex whose
+// whole adjacency sits on a single multi-megabyte line.
+func TestLongLineMETIS(t *testing.T) {
+	const n = 200000
+	var sb strings.Builder
+	sb.WriteString("200001 200000\n")
+	for v := 2; v <= n+1; v++ {
+		sb.WriteString(" ")
+		sb.WriteString(itoa(v))
+	}
+	sb.WriteString("\n")
+	for v := 2; v <= n+1; v++ {
+		sb.WriteString("1\n")
+	}
+	g, err := ParseMETIS([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != n {
+		t.Fatalf("hub degree %d, want %d", g.Degree(0), n)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -6,6 +6,27 @@ import (
 	"testing"
 )
 
+// hugeIDs reports whether the input names a vertex id large enough to make
+// the O(max id) CSR allocation dominate the fuzz run. The parsers accept
+// such inputs by contract (the vertex count is 1 + the largest id), so the
+// harness skips them instead of letting the fuzzer chase out-of-memory
+// kills: anything at or under this bound allocates a few dozen MiB at most.
+func hugeIDs(input string) bool {
+	const maxDigits = 6 // ids < 10^6
+	run := 0
+	for i := 0; i < len(input); i++ {
+		if c := input[i]; c >= '0' && c <= '9' {
+			run++
+			if run > maxDigits {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
 // FuzzLoadEdgeList asserts the parser never panics and that any
 // successfully parsed graph is internally consistent and round-trips.
 func FuzzLoadEdgeList(f *testing.F) {
@@ -17,6 +38,9 @@ func FuzzLoadEdgeList(f *testing.F) {
 	f.Add("a b c")
 	f.Add("0 0\n0 1\n1 0\n")
 	f.Fuzz(func(t *testing.T, input string) {
+		if hugeIDs(input) {
+			t.Skip()
+		}
 		g, err := LoadEdgeList(strings.NewReader(input))
 		if err != nil {
 			return
@@ -38,6 +62,39 @@ func FuzzLoadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzParseEdgeList asserts the parallel parser never panics, validates its
+// successful parses, and round-trips them through the binary snapshot.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n", uint8(3))
+	f.Add("# c\n5 5\n5 6 0.25\n", uint8(1))
+	f.Add("", uint8(0))
+	f.Add("1 2x 3", uint8(2))
+	f.Add("0 1\n"+strings.Repeat(" ", 256)+"\n2 3", uint8(9))
+	f.Fuzz(func(t *testing.T, input string, workers uint8) {
+		if hugeIDs(input) {
+			t.Skip()
+		}
+		g, err := ParseEdgeList([]byte(input), int(workers%16))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := g.SaveBinary(&buf); err != nil {
+			t.Fatalf("snapshot failed: %v", err)
+		}
+		g2, err := LoadBinary(&buf)
+		if err != nil {
+			t.Fatalf("snapshot reload failed: %v", err)
+		}
+		if !g2.Equal(g) {
+			t.Fatalf("snapshot round trip changed the graph\ninput: %q", input)
+		}
+	})
+}
+
 // FuzzLoadDIMACS asserts the DIMACS parser never panics and validates its
 // successful parses.
 func FuzzLoadDIMACS(f *testing.F) {
@@ -47,12 +104,69 @@ func FuzzLoadDIMACS(f *testing.F) {
 	f.Add("e 1 2")
 	f.Add("p edge -1 5")
 	f.Fuzz(func(t *testing.T, input string) {
+		if hugeIDs(input) {
+			t.Skip()
+		}
 		g, err := LoadDIMACS(strings.NewReader(input))
 		if err != nil {
 			return
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("parsed DIMACS graph invalid: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+// FuzzLoadBinary is the robustness gate for the .hbg loader: truncated,
+// bit-flipped or adversarial snapshots must produce an error, never a panic
+// or an invalid Graph. Allocation is bounded by the input length, so no id
+// guard is needed.
+func FuzzLoadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	if err := b.MustBuild().SaveBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)-3]) // truncated payload
+	f.Add(good[:10])          // truncated header
+	f.Add([]byte("HBGF"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0x80
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := LoadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loaded snapshot invalid: %v", err)
+		}
+	})
+}
+
+// FuzzParseMETIS asserts the METIS parser never panics and validates its
+// successful parses.
+func FuzzParseMETIS(f *testing.F) {
+	f.Add("3 2\n2 3\n1 3\n1 2\n")
+	f.Add("3 2 1\n2 9\n1 9 3 4\n2 4\n")
+	f.Add("% comment\n2 0\n\n\n")
+	f.Add("2 1 11 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if hugeIDs(input) {
+			t.Skip()
+		}
+		g, err := ParseMETIS([]byte(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed METIS graph invalid: %v\ninput: %q", err, input)
 		}
 	})
 }

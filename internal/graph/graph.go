@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -123,6 +124,19 @@ func (g *Graph) IsClique(vs []int32) bool {
 		}
 	}
 	return true
+}
+
+// Equal reports whether g and h have identical representations: the same
+// CSR offsets, adjacency, edge ids and edge endpoint arrays. Since the
+// representation is canonical (sorted adjacency, lexicographic edge ids),
+// equal representations mean equal graphs and vice versa; the loaders'
+// round-trip tests rely on this being exact.
+func (g *Graph) Equal(h *Graph) bool {
+	return slices.Equal(g.offsets, h.offsets) &&
+		slices.Equal(g.adj, h.adj) &&
+		slices.Equal(g.eids, h.eids) &&
+		slices.Equal(g.srcs, h.srcs) &&
+		slices.Equal(g.dsts, h.dsts)
 }
 
 // Validate checks internal invariants (sorted unique adjacency, symmetric

@@ -2,38 +2,48 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
-	"strings"
 )
 
 // LoadEdgeList parses whitespace-separated "u v" pairs, one edge per line.
 // Lines starting with '#' or '%' are comments. Vertex ids are non-negative
 // integers; the vertex count is 1 + the largest id seen. Directions, weights
 // (a third column, ignored) and self-loops are dropped, matching the paper's
-// preprocessing of the real datasets.
+// preprocessing of the real datasets. Lines may be arbitrarily long (the
+// former 1 MiB scanner cap is gone). For in-memory inputs, ParseEdgeList
+// parses the same dialect on all cores.
 func LoadEdgeList(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, 1<<16)
 	b := NewBuilder(0)
 	lineNo := 0
-	for sc.Scan() {
+	var buf []byte
+	for {
+		line, readErr := appendLine(br, buf[:0])
+		buf = line[:0]
+		if readErr == io.EOF {
+			break
+		}
+		if readErr != nil {
+			return nil, fmt.Errorf("graph: reading edge list: %v", readErr)
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' || line[0] == '%' {
 			continue
 		}
-		fields := strings.Fields(line)
+		fields := bytes.Fields(line)
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
+		u, err := strconv.ParseInt(string(fields[0]), 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
 		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
+		v, err := strconv.ParseInt(string(fields[1]), 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
 		}
@@ -41,9 +51,6 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
 		}
 		b.AddEdge(int32(u), int32(v))
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %v", err)
 	}
 	return b.Build()
 }
@@ -78,23 +85,31 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 // LoadDIMACS parses the DIMACS clique/coloring format: a "p edge n m" header
 // followed by "e u v" lines with 1-based vertex ids. "c" lines are comments.
 func LoadDIMACS(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, 1<<16)
 	var b *Builder
 	lineNo := 0
-	for sc.Scan() {
+	var buf []byte
+	for {
+		line, readErr := appendLine(br, buf[:0])
+		buf = line[:0]
+		if readErr == io.EOF {
+			break
+		}
+		if readErr != nil {
+			return nil, fmt.Errorf("graph: reading DIMACS input: %v", readErr)
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == 'c' {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == 'c' {
 			continue
 		}
-		fields := strings.Fields(line)
-		switch fields[0] {
+		fields := bytes.Fields(line)
+		switch string(fields[0]) {
 		case "p":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", lineNo, line)
 			}
-			n, err := strconv.Atoi(fields[2])
+			n, err := strconv.Atoi(string(fields[2]))
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[2])
 			}
@@ -106,11 +121,11 @@ func LoadDIMACS(r io.Reader) (*Graph, error) {
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
 			}
-			u, err := strconv.ParseInt(fields[1], 10, 32)
+			u, err := strconv.ParseInt(string(fields[1]), 10, 32)
 			if err != nil || u < 1 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", lineNo, fields[1])
 			}
-			v, err := strconv.ParseInt(fields[2], 10, 32)
+			v, err := strconv.ParseInt(string(fields[2]), 10, 32)
 			if err != nil || v < 1 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", lineNo, fields[2])
 			}
@@ -118,9 +133,6 @@ func LoadDIMACS(r io.Reader) (*Graph, error) {
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading DIMACS input: %v", err)
 	}
 	if b == nil {
 		return nil, fmt.Errorf("graph: DIMACS input has no problem line")

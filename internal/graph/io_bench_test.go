@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The ingestion benchmarks contrast the three ways a graph enters the
+// process on the same ≥1M-edge input:
+//
+//	BenchmarkParseText     — LoadEdgeList, the line-by-line text parser
+//	BenchmarkParseParallel — ParseEdgeList on 1/2/4/8 workers
+//	BenchmarkParseBinary   — LoadBinary on the .hbg snapshot
+//
+// Acceptance targets (ISSUE 3): parallel/8 ≥ 2× over text, binary ≥ 5× over
+// both.
+
+const (
+	benchVertices = 200_000
+	benchEdges    = 1_000_000
+)
+
+var benchInput struct {
+	once sync.Once
+	text []byte // edge-list rendering
+	hbg  []byte // binary snapshot of the parsed graph
+}
+
+func benchData(b *testing.B) ([]byte, []byte) {
+	benchInput.once.Do(func() {
+		rng := rand.New(rand.NewSource(1234))
+		var buf bytes.Buffer
+		buf.Grow(benchEdges * 14)
+		for i := 0; i < benchEdges; i++ {
+			fmt.Fprintf(&buf, "%d %d\n", rng.Intn(benchVertices), rng.Intn(benchVertices))
+		}
+		benchInput.text = buf.Bytes()
+		g, err := ParseEdgeList(benchInput.text, 0)
+		if err != nil {
+			panic(err)
+		}
+		var bin bytes.Buffer
+		if err := g.SaveBinary(&bin); err != nil {
+			panic(err)
+		}
+		benchInput.hbg = bin.Bytes()
+	})
+	return benchInput.text, benchInput.hbg
+}
+
+func BenchmarkParseText(b *testing.B) {
+	text, _ := benchData(b)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadEdgeList(bytes.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseParallel(b *testing.B) {
+	text, _ := benchData(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ParseEdgeList(text, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseBinary(b *testing.B) {
+	_, hbg := benchData(b)
+	b.SetBytes(int64(len(hbg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadBinary(bytes.NewReader(hbg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadOptions configures the multi-format loader.
+type LoadOptions struct {
+	// Format forces a specific input format; FormatAuto (the zero value)
+	// sniffs content and file extension via DetectFormat.
+	Format Format
+	// Workers bounds the parser parallelism for formats that support it
+	// (edge lists and MatrixMarket bodies); 0 = all cores.
+	Workers int
+}
+
+// Load reads a graph in any supported format from r. Gzip-compressed input
+// is detected by its magic bytes and decompressed transparently. Reader
+// input carries no path hint, so FormatAuto cannot distinguish METIS from a
+// plain edge list here; set Format explicitly for METIS streams.
+func Load(r io.Reader, opts LoadOptions) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading input: %w", err)
+	}
+	return parseData(data, "", opts)
+}
+
+// LoadFile reads the graph file at path in any supported format,
+// decompressing gzip transparently and using the extension as a detection
+// hint (".mtx.gz" detects as MatrixMarket, and so on).
+func LoadFile(path string, opts LoadOptions) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := parseData(data, path, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return g, nil
+}
+
+// CachePath returns the sidecar snapshot path LoadFileCached uses for a
+// text input: the full path with ".hbg" appended, or with the format name
+// infixed when a format is forced ("g.graph" -> "g.graph.hbg" under auto
+// detection, "g.graph.metis.hbg" under Format: FormatMETIS). The full name
+// is deliberately kept ("g.txt.gz" -> "g.txt.gz.hbg") and the forced
+// format is part of the key, so a compressed and an uncompressed copy, or
+// two format interpretations of one ambiguous file (METIS vs edge list),
+// never collide on one sidecar.
+func CachePath(path string, format Format) string {
+	if format == FormatAuto {
+		return path + ".hbg"
+	}
+	return path + "." + format.String() + ".hbg"
+}
+
+// LoadFileCached is LoadFile backed by a binary sidecar snapshot: when
+// CachePath(path) exists and is at least as new as path it is loaded
+// instead of parsing (fromCache = true); otherwise the file is parsed and
+// the snapshot is written best-effort (a read-only directory does not fail
+// the load). Inputs that already are .hbg snapshots load directly and never
+// get a sidecar. A corrupt or stale sidecar falls back to a fresh parse.
+func LoadFileCached(path string, opts LoadOptions) (g *Graph, fromCache bool, err error) {
+	// The binary/sidecar decision needs only the 4-byte magic and the file
+	// mtimes — a cache hit must not pay for reading a huge text source.
+	isBinary := opts.Format == FormatBinary ||
+		(opts.Format == FormatAuto && fileHasHbgMagic(path))
+	if !isBinary {
+		side, sideErr := os.Stat(CachePath(path, opts.Format))
+		src, srcErr := os.Stat(path)
+		// Strictly newer, not just not-older: with coarse filesystem
+		// timestamps a source rewritten in the sidecar's own second would
+		// otherwise be served stale. The cost is one extra parse (and a
+		// sidecar rewrite) within that window.
+		if sideErr == nil && srcErr == nil && side.ModTime().After(src.ModTime()) {
+			if g, err := LoadBinaryFile(CachePath(path, opts.Format)); err == nil {
+				return g, true, nil
+			}
+		}
+	}
+	g, err = LoadFile(path, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if !isBinary {
+		_ = g.SaveBinaryFile(CachePath(path, opts.Format)) // best-effort cache fill
+	}
+	return g, false, nil
+}
+
+// fileHasHbgMagic sniffs the leading snapshot magic; any read problem is
+// deferred to the real load for a proper error.
+func fileHasHbgMagic(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == hbgMagic
+}
+
+// parseData decompresses, detects and dispatches.
+func parseData(data []byte, pathHint string, opts LoadOptions) (*Graph, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("graph: opening gzip stream: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("graph: decompressing gzip stream: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("graph: closing gzip stream: %w", err)
+		}
+	}
+	format := opts.Format
+	if format == FormatAuto {
+		format = DetectFormat(data, pathHint)
+	}
+	switch format {
+	case FormatEdgeList:
+		g, _, err := parseEdgeBytes(data, opts.Workers, 0, 0)
+		return g, err
+	case FormatDIMACS:
+		return LoadDIMACS(bytes.NewReader(data))
+	case FormatMatrixMarket:
+		return ParseMatrixMarket(data, opts.Workers)
+	case FormatMETIS:
+		return ParseMETIS(data)
+	case FormatBinary:
+		return loadBinaryBytes(data)
+	}
+	return nil, fmt.Errorf("graph: unsupported format %v", format)
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bufio"
+	"io"
+	"math"
+)
+
+// Hand-rolled byte scanning shared by the text parsers. The sequential
+// loaders used bufio.Scanner with a fixed 1 MiB cap, which made graphs with
+// very long lines (huge comments, METIS adjacency rows, heavily padded edge
+// lists) fail with "token too long"; appendLine grows without limit. The
+// parallel parser goes further and avoids per-line allocations entirely with
+// scanID over raw byte ranges.
+
+// isSpace reports whether c is ASCII line-internal whitespace. Newlines are
+// line terminators, not field separators, and are handled by the callers.
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// appendLine appends the next line of br (without the trailing '\n') to buf
+// and returns the extended slice. Unlike bufio.Scanner there is no length
+// cap: fragments are accumulated across ErrBufferFull. The error is io.EOF
+// only when no bytes remain at all; a final unterminated line is returned
+// with a nil error.
+func appendLine(br *bufio.Reader, buf []byte) ([]byte, error) {
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil:
+			return buf[:len(buf)-1], nil // drop the '\n'
+		case io.EOF:
+			if len(buf) > 0 {
+				return buf, nil
+			}
+			return buf, io.EOF
+		default:
+			return buf, err
+		}
+	}
+}
+
+// scanID parses a non-negative decimal int32 in data starting at i,
+// returning the value and the index one past the last digit. ok is false
+// when no digit is present or the value overflows int32. Unlike
+// strconv.ParseInt it accepts plain digit runs only (no sign).
+func scanID(data []byte, i int) (v int32, next int, ok bool) {
+	start := i
+	var x int64
+	for i < len(data) {
+		c := data[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		x = x*10 + int64(c-'0')
+		if x > math.MaxInt32 {
+			return 0, i, false
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, false
+	}
+	return int32(x), i, true
+}
