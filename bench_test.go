@@ -39,6 +39,19 @@ func runCount(b *testing.B, g *hbbmc.Graph, opts hbbmc.Options) {
 	b.ReportMetric(float64(cliques), "cliques")
 }
 
+// --- Pivot selection ------------------------------------------------------
+
+// BenchmarkPivotSelect drives the workload most sensitive to the fused
+// pivot-selection kernels: BK_Degen with ET and GR disabled spends almost
+// all of its enumeration inside the per-node pivot scans (one fused
+// intersect+popcount per candidate per node). Kernel regressions that the
+// end-to-end gate would smear across phases show up here directly; the
+// word-level microbenchmarks live in internal/bitset (BenchmarkKernel*).
+func BenchmarkPivotSelect(b *testing.B) {
+	g := benchGraph(b, "NA")
+	runCount(b, g, hbbmc.Options{Algorithm: hbbmc.BKDegen})
+}
+
 // --- Table I: dataset statistics -----------------------------------------
 
 func BenchmarkTable1Stats(b *testing.B) {

@@ -98,6 +98,7 @@ func main() {
 		chunk      = flag.Int("chunk", 0, "fixed branches per work-queue pop (0 = adaptive guided chunking)")
 		timeout    = flag.Duration("timeout", 0, "stop the enumeration after this wall-clock time, keeping partial results (0 = unlimited)")
 		maxCliques = flag.Int64("maxcliques", 0, "stop after this many maximal cliques (0 = unlimited)")
+		phases     = flag.Bool("phases", false, "collect and print per-phase timers (universe build, pivot scans, early termination, emit)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -151,6 +152,7 @@ func main() {
 	opts.EmitBatchSize = *emitBatch
 	opts.ParallelChunkSize = *chunk
 	opts.MaxCliques = *maxCliques
+	opts.PhaseTimers = *phases
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -184,6 +186,12 @@ func main() {
 		*algo, stats.Cliques, stats.MaxCliqueSize, time.Since(start).Round(time.Millisecond),
 		sess.PrepTime().Round(time.Millisecond), stats.EnumTime.Round(time.Millisecond),
 		stats.TopBranches, stats.Calls, stats.EarlyTerminations, stats.PlexBranches, stats.Workers)
+	if *phases {
+		fmt.Fprintf(os.Stderr, "phases: universe=%v pivot=%v et=%v emit=%v (of enumeration %v; phases nest and overlap)\n",
+			stats.UniverseTime.Round(time.Microsecond), stats.PivotTime.Round(time.Microsecond),
+			stats.ETTime.Round(time.Microsecond), stats.EmitTime.Round(time.Microsecond),
+			stats.EnumTime.Round(time.Microsecond))
+	}
 	if stats.ParallelFallback != "" {
 		fmt.Fprintf(os.Stderr, "mce: parallel run fell back to the sequential driver: %s\n", stats.ParallelFallback)
 	}

@@ -35,7 +35,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"github.com/graphmining/hbbmc/internal/benchharness"
 )
@@ -44,23 +46,63 @@ const exitRegression = 3
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table number to reproduce (1-6)")
-		figure    = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
-		all       = flag.Bool("all", false, "run every table and figure")
-		datasets  = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
-		reps      = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
-		seeds     = flag.Int("seeds", 3, "random graphs per figure sweep point")
-		workers   = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
-		jsonOut   = flag.Bool("json", false, "emit one JSON line per timed run on stdout (tables move to stderr)")
-		cacheDir  = flag.String("cache", "", "directory for .hbg dataset snapshots (empty = rebuild in-process)")
-		compare   = flag.String("compare", "", "baseline JSON file: compare -candidate against it instead of running benchmarks")
-		candidate = flag.String("candidate", "-", "candidate JSON file for -compare (\"-\" = stdin)")
-		threshold = flag.Float64("threshold", 25, "percent slowdown of a cell's median enumerate time that fails -compare")
+		table      = flag.Int("table", 0, "table number to reproduce (1-6)")
+		figure     = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
+		all        = flag.Bool("all", false, "run every table and figure")
+		datasets   = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
+		reps       = flag.Int("reps", 1, "timing repetitions per cell (fastest wins)")
+		seeds      = flag.Int("seeds", 3, "random graphs per figure sweep point")
+		workers    = flag.Int("workers", 1, "worker goroutines per cell (1 = sequential as in the paper, 0 = all cores)")
+		jsonOut    = flag.Bool("json", false, "emit one JSON line per timed run on stdout (tables move to stderr)")
+		cacheDir   = flag.String("cache", "", "directory for .hbg dataset snapshots (empty = rebuild in-process)")
+		compare    = flag.String("compare", "", "baseline JSON file: compare -candidate against it instead of running benchmarks")
+		candidate  = flag.String("candidate", "-", "candidate JSON file for -compare (\"-\" = stdin)")
+		threshold  = flag.Float64("threshold", 25, "percent slowdown of a cell's median enumerate time that fails -compare")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *candidate, *threshold))
 	}
+	// Profiles cover the benchmark path only (compare mode exits above).
+	// They are finalised through flushProfiles, which both normal
+	// termination and fatal() run — an error mid-benchmark must still
+	// leave parseable profile files, not one truncated by os.Exit.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		prev := profileFlush
+		profileFlush = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		prev := profileFlush
+		profileFlush = func() {
+			prev()
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mcebench:", err)
+			}
+		}
+	}
+	defer flushProfiles()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -140,6 +182,7 @@ func main() {
 		runFigure(*figure)
 	}
 	if !ran {
+		flushProfiles() // os.Exit skips the deferred flush
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -184,7 +227,18 @@ func runCompare(baselinePath, candidatePath string, threshold float64) int {
 	return 0
 }
 
+// profileFlush finalises any active profiles; guarded by profileOnce so
+// the deferred flush at normal exit and the one inside fatal cannot both
+// run it.
+var (
+	profileFlush = func() {}
+	profileOnce  sync.Once
+)
+
+func flushProfiles() { profileOnce.Do(func() { profileFlush() }) }
+
 func fatal(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "mcebench:", err)
 	os.Exit(1)
 }

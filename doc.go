@@ -73,6 +73,44 @@
 // slightly after its discovery. As in the sequential driver, the slice
 // passed to the Visitor is reused — copy it to retain it.
 //
+// # Performance architecture
+//
+// The enumeration core is engineered around word-parallel bitset kernels
+// and allocation-free branch state:
+//
+//   - Fused kernels. Candidate-degree and pivot scans run on fused
+//     intersect+popcount kernels (4-way unrolled) and iterate bitsets
+//     word-by-word instead of per set bit, so a recursion node costs one
+//     streaming pass per candidate row rather than separate
+//     intersect-then-count passes threaded through per-bit calls.
+//   - Epoch-stamped universes. Each top-level branch installs a local
+//     vertex universe; the residual→local id map is epoch-stamped (one
+//     packed word per vertex) and membership is pre-filtered through a
+//     dense bitmap (one bit per vertex, cache-resident), so installing and
+//     probing a universe is O(universe) with no per-branch teardown.
+//   - Zero-reset recursion state. Candidate/exclusion sets, candidate-edge
+//     lists and per-level degree counts are carved from mark/release
+//     arenas; the hot path allocates nothing in steady state, and sets that
+//     are fully overwritten skip the zeroing pass.
+//   - Incremental degree maintenance. BK_Rcd's removal loop decrements the
+//     candidate degrees of the removed vertex's neighbors instead of
+//     rescanning every candidate row per step.
+//   - Cost-ordered parallel scheduling. Parallel queries hand out top-level
+//     branches in descending estimated-cost order (triangle count per edge,
+//     later-neighbor count per vertex) with ramp-up chunking — single
+//     branches at the expensive head, growing chunks toward the cheap tail
+//     — so one late big branch cannot strand the run on a single worker.
+//
+// Options.PhaseTimers makes any query account its hot-path time into
+// Stats.UniverseTime (universe install + adjacency row building),
+// Stats.PivotTime (pivot/degree scans), Stats.ETTime (early-termination
+// checks and plex construction) and Stats.EmitTime (clique delivery); the
+// mce command prints the breakdown under -phases. The contribution of the
+// fused path itself is measurable in-repo: `go test ./internal/core -bench
+// AblationUnfusedKernels` runs every framework fused and unfused back to
+// back, and `go test ./internal/bitset -bench BenchmarkKernel` compares the
+// kernels against their composed forms.
+//
 // # Input formats and the binary snapshot cache
 //
 // LoadFile reads a graph in any supported format, auto-detected from

@@ -66,8 +66,29 @@ func (s Set) Has(i int) bool {
 // Count returns the number of set bits.
 func (s Set) Count() int {
 	n := 0
+	i := 0
+	// 4-way unrolled: popcounts have no cross-iteration dependency, so the
+	// four OnesCount64 chains retire in parallel.
+	for ; i+4 <= len(s); i += 4 {
+		n += bits.OnesCount64(s[i]) + bits.OnesCount64(s[i+1]) +
+			bits.OnesCount64(s[i+2]) + bits.OnesCount64(s[i+3])
+	}
+	for ; i < len(s); i++ {
+		n += bits.OnesCount64(s[i])
+	}
+	return n
+}
+
+// CountCapped returns min(Count, limit), scanning only until the limit is
+// reached — the "are at least limit bits set?" threshold form of Count (the
+// early-termination decomposition uses it to bound complement degrees).
+func (s Set) CountCapped(limit int) int {
+	n := 0
 	for _, w := range s {
 		n += bits.OnesCount64(w)
+		if n >= limit {
+			return limit
+		}
 	}
 	return n
 }
@@ -117,11 +138,74 @@ func (s Set) AndNotInto(a, b Set) {
 	}
 }
 
-// AndCount returns |s ∩ o| without materialising the intersection.
+// AndIntoCount stores a ∩ b into s and returns its popcount — the fused form
+// of AndInto followed by Count, touching every cache line once.
+func (s Set) AndIntoCount(a, b Set) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		w0 := a[i] & b[i]
+		w1 := a[i+1] & b[i+1]
+		w2 := a[i+2] & b[i+2]
+		w3 := a[i+3] & b[i+3]
+		s[i], s[i+1], s[i+2], s[i+3] = w0, w1, w2, w3
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(s); i++ {
+		w := a[i] & b[i]
+		s[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndNotIntoCount stores a \ b into s and returns its popcount.
+func (s Set) AndNotIntoCount(a, b Set) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		w0 := a[i] &^ b[i]
+		w1 := a[i+1] &^ b[i+1]
+		w2 := a[i+2] &^ b[i+2]
+		w3 := a[i+3] &^ b[i+3]
+		s[i], s[i+1], s[i+2], s[i+3] = w0, w1, w2, w3
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(s); i++ {
+		w := a[i] &^ b[i]
+		s[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns |s ∩ o| without materialising the intersection
+// (intersect + popcount fused in one pass, 4-way unrolled).
 func (s Set) AndCount(o Set) int {
 	n := 0
-	for i := range s {
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		n += bits.OnesCount64(s[i]&o[i]) + bits.OnesCount64(s[i+1]&o[i+1]) +
+			bits.OnesCount64(s[i+2]&o[i+2]) + bits.OnesCount64(s[i+3]&o[i+3])
+	}
+	for ; i < len(s); i++ {
 		n += bits.OnesCount64(s[i] & o[i])
+	}
+	return n
+}
+
+// AndNotCount returns |s \ o| without materialising the difference.
+func (s Set) AndNotCount(o Set) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		n += bits.OnesCount64(s[i]&^o[i]) + bits.OnesCount64(s[i+1]&^o[i+1]) +
+			bits.OnesCount64(s[i+2]&^o[i+2]) + bits.OnesCount64(s[i+3]&^o[i+3])
+	}
+	for ; i < len(s); i++ {
+		n += bits.OnesCount64(s[i] &^ o[i])
 	}
 	return n
 }
@@ -207,6 +291,29 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// ForEachWord calls fn once per non-zero word with the word's bit base
+// (wordIndex*64) and its value. One callback per 64-bit word instead of one
+// per set bit; hot callers drain the word with TrailingZeros64 + w&(w-1)
+// themselves, replacing per-bit First/NextAfter scan loops:
+//
+//	s.ForEachWord(func(base int, w uint64) {
+//	    for ; w != 0; w &= w - 1 {
+//	        i := base + bits.TrailingZeros64(w)
+//	        ...
+//	    }
+//	})
+//
+// Since Set is a plain slice, fully inlined callers can also range over it
+// directly; ForEachWord exists for call sites outside this package that
+// should not hard-code the word layout.
+func (s Set) ForEachWord(fn func(base int, w uint64)) {
+	for wi, w := range s {
+		if w != 0 {
+			fn(wi*wordBits, w)
+		}
+	}
+}
+
 // AppendTo appends the indices of the set bits to dst and returns it.
 func (s Set) AppendTo(dst []int32) []int32 {
 	for wi, w := range s {
@@ -252,6 +359,18 @@ func (a *Arena) Release(mark int) { a.used = mark }
 
 // Get carves a zeroed Set from the arena.
 func (a *Arena) Get() Set {
+	s := a.GetUnzeroed()
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// GetUnzeroed carves a Set from the arena without clearing it; its contents
+// are unspecified (typically the remains of a released set). Use it only
+// when every word is overwritten before being read — the CopyFrom /
+// AndInto / AndNotInto family — to keep the zeroing pass off the hot path.
+func (a *Arena) GetUnzeroed() Set {
 	if a.words == 0 {
 		return Set{}
 	}
@@ -269,8 +388,5 @@ func (a *Arena) Get() Set {
 	}
 	s := Set(a.slab[a.used : a.used+a.words])
 	a.used += a.words
-	for i := range s {
-		s[i] = 0
-	}
 	return s
 }

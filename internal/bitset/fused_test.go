@@ -1,0 +1,194 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The fused kernels must be observationally identical to their composed
+// two-pass forms on every input. randomPair builds two same-capacity sets
+// from raw word material so word boundaries, empty words and full words are
+// all exercised.
+
+func setsFromWords(aw, bw []uint64) (a, b Set, bits int) {
+	n := len(aw)
+	if len(bw) < n {
+		n = len(bw)
+	}
+	if n == 0 {
+		return Set{}, Set{}, 0
+	}
+	a = append(Set(nil), aw[:n]...)
+	b = append(Set(nil), bw[:n]...)
+	return a, b, n * wordBits
+}
+
+func TestQuickFusedKernels(t *testing.T) {
+	f := func(aw, bw []uint64, limit uint8) bool {
+		a, b, n := setsFromWords(aw, bw)
+
+		// AndCount == AndInto ; Count
+		and := New(n)
+		and.AndInto(a, b)
+		if a.AndCount(b) != and.Count() {
+			return false
+		}
+		// AndNotCount == AndNotInto ; Count
+		diff := New(n)
+		diff.AndNotInto(a, b)
+		if a.AndNotCount(b) != diff.Count() {
+			return false
+		}
+		// AndIntoCount == AndInto ; Count, with identical contents
+		fusedAnd := New(n)
+		if fusedAnd.AndIntoCount(a, b) != and.Count() || !fusedAnd.Equal(and) {
+			return false
+		}
+		// AndNotIntoCount == AndNotInto ; Count, with identical contents
+		fusedDiff := New(n)
+		if fusedDiff.AndNotIntoCount(a, b) != diff.Count() || !fusedDiff.Equal(diff) {
+			return false
+		}
+		// Capped count agrees with min(full count, limit).
+		lim := int(limit)
+		if want := min(a.Count(), lim); a.CountCapped(lim) != want {
+			return false
+		}
+		// ForEachWord visits exactly the set bits, in order.
+		var words []int32
+		a.ForEachWord(func(base int, w uint64) {
+			for ; w != 0; w &= w - 1 {
+				words = append(words, int32(base+trailing(w)))
+			}
+		})
+		return sliceEq(words, a.AppendTo(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func trailing(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// TestFusedKernelsDense drives the unrolled paths across every length
+// residue mod 4 with dense, empty and full words.
+func TestFusedKernelsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for words := 0; words <= 9; words++ {
+		for iter := 0; iter < 50; iter++ {
+			a, b := make(Set, words), make(Set, words)
+			for i := range a {
+				switch rng.Intn(4) {
+				case 0:
+					a[i] = 0
+				case 1:
+					a[i] = ^uint64(0)
+				default:
+					a[i] = rng.Uint64()
+				}
+				b[i] = rng.Uint64()
+			}
+			and := make(Set, words)
+			and.AndInto(a, b)
+			if got, want := a.AndCount(b), and.Count(); got != want {
+				t.Fatalf("words=%d AndCount=%d want %d", words, got, want)
+			}
+			diff := make(Set, words)
+			diff.AndNotInto(a, b)
+			if got, want := a.AndNotCount(b), diff.Count(); got != want {
+				t.Fatalf("words=%d AndNotCount=%d want %d", words, got, want)
+			}
+			dst := make(Set, words)
+			if got := dst.AndIntoCount(a, b); got != and.Count() || !dst.Equal(and) {
+				t.Fatalf("words=%d AndIntoCount mismatch", words)
+			}
+			if got := dst.AndNotIntoCount(a, b); got != diff.Count() || !dst.Equal(diff) {
+				t.Fatalf("words=%d AndNotIntoCount mismatch", words)
+			}
+		}
+	}
+}
+
+func TestArenaGetUnzeroed(t *testing.T) {
+	a := NewArena(128)
+	s := a.Get()
+	s.Set(3)
+	s.Set(100)
+	a.Release(0)
+	// GetUnzeroed returns the same slab region with unspecified contents;
+	// a full overwrite must leave no trace of the previous occupant.
+	u := a.GetUnzeroed()
+	if len(u) != a.WordsPerSet() {
+		t.Fatalf("GetUnzeroed length %d, want %d", len(u), a.WordsPerSet())
+	}
+	src := fromInts(128, 7)
+	u.CopyFrom(src)
+	if !u.Equal(src) {
+		t.Error("overwritten GetUnzeroed set differs from source")
+	}
+	if a.GetUnzeroed(); a.Mark() != 2*a.WordsPerSet() {
+		t.Error("GetUnzeroed must advance the arena cursor like Get")
+	}
+}
+
+// FuzzBitsetFused feeds raw word material to every fused kernel and
+// cross-checks it against the composed two-pass form.
+func FuzzBitsetFused(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xaa}, []byte{0x0f, 0xf0}, uint8(3))
+	f.Add(
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17},
+		[]byte{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		uint8(200),
+	)
+	f.Fuzz(func(t *testing.T, araw, braw []byte, limit uint8) {
+		a, b, n := setsFromWords(bytesToWords(araw), bytesToWords(braw))
+		and := New(n)
+		and.AndInto(a, b)
+		diff := New(n)
+		diff.AndNotInto(a, b)
+
+		if got, want := a.AndCount(b), and.Count(); got != want {
+			t.Fatalf("AndCount=%d, composed=%d", got, want)
+		}
+		if got, want := a.AndNotCount(b), diff.Count(); got != want {
+			t.Fatalf("AndNotCount=%d, composed=%d", got, want)
+		}
+		dst := New(n)
+		if got := dst.AndIntoCount(a, b); got != and.Count() || !dst.Equal(and) {
+			t.Fatalf("AndIntoCount=%d contents-equal=%v, composed=%d", got, dst.Equal(and), and.Count())
+		}
+		if got := dst.AndNotIntoCount(a, b); got != diff.Count() || !dst.Equal(diff) {
+			t.Fatalf("AndNotIntoCount=%d contents-equal=%v, composed=%d", got, dst.Equal(diff), diff.Count())
+		}
+		lim := int(limit)
+		if got, want := a.CountCapped(lim), min(a.Count(), lim); got != want {
+			t.Fatalf("CountCapped(%d)=%d, want %d", lim, got, want)
+		}
+		var walked []int32
+		a.ForEachWord(func(base int, w uint64) {
+			for ; w != 0; w &= w - 1 {
+				walked = append(walked, int32(base+trailing(w)))
+			}
+		})
+		if !sliceEq(walked, a.AppendTo(nil)) {
+			t.Fatal("ForEachWord walk differs from AppendTo")
+		}
+	})
+}
+
+func bytesToWords(b []byte) []uint64 {
+	words := make([]uint64, (len(b)+7)/8)
+	for i, x := range b {
+		words[i/8] |= uint64(x) << (8 * uint(i%8))
+	}
+	return words
+}

@@ -1,0 +1,105 @@
+package bitset
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Kernel microbenchmarks: regressions in the fused word-parallel kernels
+// show up here directly, without the noise of the end-to-end benchmark gate.
+// kernelWords ≈ a 4096-vertex branch universe — larger than the truss-bound
+// universes of the paper's datasets, so per-word throughput dominates.
+const kernelWords = 64
+
+func kernelSets(density float64) (a, b Set) {
+	rng := rand.New(rand.NewSource(1))
+	a, b = make(Set, kernelWords), make(Set, kernelWords)
+	for i := range a {
+		for bit := 0; bit < 64; bit++ {
+			if rng.Float64() < density {
+				a[i] |= 1 << uint(bit)
+			}
+			if rng.Float64() < density {
+				b[i] |= 1 << uint(bit)
+			}
+		}
+	}
+	return a, b
+}
+
+func BenchmarkKernelAndCount(b *testing.B) {
+	x, y := kernelSets(0.3)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.AndCount(y)
+	}
+	_ = sink
+}
+
+// BenchmarkKernelAndCountComposed is the unfused baseline AndCount replaced:
+// materialise the intersection, then count it.
+func BenchmarkKernelAndCountComposed(b *testing.B) {
+	x, y := kernelSets(0.3)
+	tmp := make(Set, kernelWords)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		tmp.AndInto(x, y)
+		sink += tmp.Count()
+	}
+	_ = sink
+}
+
+func BenchmarkKernelAndNotCount(b *testing.B) {
+	x, y := kernelSets(0.3)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.AndNotCount(y)
+	}
+	_ = sink
+}
+
+func BenchmarkKernelAndIntoCount(b *testing.B) {
+	x, y := kernelSets(0.3)
+	dst := make(Set, kernelWords)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += dst.AndIntoCount(x, y)
+	}
+	_ = sink
+}
+
+// BenchmarkKernelWordIter iterates the set bits through the word-level path
+// (range over words + TrailingZeros64), the pattern hot core loops use.
+func BenchmarkKernelWordIter(b *testing.B) {
+	x, _ := kernelSets(0.2)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for wi, w := range x {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				sink += base + bits.TrailingZeros64(w)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkKernelBitIter is the per-bit First/NextAfter scan the word
+// iterator replaced; kept as the comparison baseline.
+func BenchmarkKernelBitIter(b *testing.B) {
+	x, _ := kernelSets(0.2)
+	b.SetBytes(kernelWords * 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for v := x.First(); v >= 0; v = x.NextAfter(v) {
+			sink += v
+		}
+	}
+	_ = sink
+}

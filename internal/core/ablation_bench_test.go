@@ -49,6 +49,47 @@ func BenchmarkAblationNoMaskFreeCheck(b *testing.B)  { runAblation(b, &ablateMas
 func BenchmarkAblationNoMaskDropping(b *testing.B)   { runAblation(b, &ablateMaskDrop) }
 func BenchmarkAblationNoXDominationCut(b *testing.B) { runAblation(b, &ablateXDomination) }
 
+// BenchmarkAblationUnfusedKernels reverts the hot recursion scans to their
+// per-bit, composed two-pass forms (and BK_Rcd to full per-step degree
+// rescans). Each framework runs fused and unfused back to back: the
+// hybrid's branches are universe-setup-bound, so the gap is a few percent;
+// the vertex-oriented recursions live in their pivot scans, where the fused
+// word-parallel path is worth ~25%.
+func BenchmarkAblationUnfusedKernels(b *testing.B) {
+	g := ablationGraph()
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"HBBMCpp", Defaults()},
+		{"RDegen", Options{Algorithm: BKDegen, GR: true}},
+		{"RRcd", Options{Algorithm: BKRcd, GR: true}},
+	} {
+		want, _, err := Count(g, cfg.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, unfused bool) {
+			if unfused {
+				ablateUnfusedKernels = true
+				defer func() { ablateUnfusedKernels = false }()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, _, err := Count(g, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("unfused=%v found %d cliques, want %d", unfused, got, want)
+				}
+			}
+		}
+		b.Run(cfg.name+"/fused", func(b *testing.B) { run(b, false) })
+		b.Run(cfg.name+"/unfused", func(b *testing.B) { run(b, true) })
+	}
+}
+
 // runParallelAblation measures EnumerateParallel end to end — emit
 // callback included, so lock traffic counts — on a skewed hub-heavy graph
 // where static striding suffers its worst load imbalance.

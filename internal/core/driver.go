@@ -87,7 +87,6 @@ func (e *engine) runWholeGraph() {
 	e.S = e.S[:0]
 	e.stats.TopBranches++
 	e.vertexRec(nil, C, X)
-	e.clearUniverse()
 }
 
 // runVertexOrdered performs the ordered top-level split (Eq. 1 with the
@@ -184,7 +183,7 @@ func (e *engine) runEdgeBranch(eid int32) {
 		}
 	}
 	rowCount := inC
-	if withXRows := inC >= 12 && 4*inC >= len(common); withXRows {
+	if withXRows(inC, len(common)) {
 		rowCount = len(common)
 	}
 	for _, cn := range common {
@@ -195,8 +194,10 @@ func (e *engine) runEdgeBranch(eid int32) {
 			}
 		}
 	}
+	t0 := e.now()
 	e.installUniverse(e.listBuf, r, rowCount)
 	e.fillRowsFromIncidence(r, rowCount)
+	e.addUniverse(t0)
 	C := e.setArena.Get()
 	X := e.setArena.Get()
 	for j := range common {
@@ -221,7 +222,6 @@ func (e *engine) runEdgeBranch(eid int32) {
 	} else {
 		e.edgeRec(C, X, r, 1)
 	}
-	e.clearUniverse()
 }
 
 // resolveTinyBranch closes top-level branches with at most two common

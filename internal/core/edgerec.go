@@ -1,7 +1,9 @@
 package core
 
 import (
-	"sort"
+	"math"
+	"math/bits"
+	"slices"
 
 	"github.com/graphmining/hbbmc/internal/bitset"
 )
@@ -23,6 +25,11 @@ type localEdge struct {
 // depth counts edge-branching levels consumed so far; at e.switchDepth the
 // recursion hands over to the vertex-oriented phase with a freshly built
 // masked adjacency.
+//
+// The recursion allocates nothing in steady state: candidate edges stack in
+// e.edgeBuf across levels (each call appends past its parent's segment and
+// truncates on exit) and the per-level degree tallies come from the
+// cntArena.
 func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 	if e.rc.stopped() {
 		return
@@ -37,29 +44,49 @@ func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 	}
 	k := len(e.verts)
 	mark := e.setArena.Mark()
-	tmp := e.setArena.Get()
+	imark := e.cntArena.mark()
+	tmp := e.setArena.GetUnzeroed()
 
 	// Collect the candidate-graph edges: pairs inside C with rank > maxRank.
-	var edges []localEdge
-	hDeg := make([]int32, k)
-	cSize, minG := 0, int(^uint(0)>>1)
+	edgeBase := len(e.edgeBuf)
+	hDeg := e.cntArena.getZeroed(k)
+	t0 := e.now()
+	cSize, minG := 0, math.MaxInt
 	e.ensureCnt()
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		cSize++
-		cnt := e.adjG[i].AndCount(C)
-		e.cntBuf[i] = int32(cnt)
-		if cnt < minG {
-			minG = cnt
-		}
-		tmp.AndInto(C, e.adjG[i])
-		for j := tmp.NextAfter(i); j >= 0; j = tmp.NextAfter(j) {
-			if r := e.rankOfLocal(i, j); r > maxRank {
-				edges = append(edges, localEdge{int32(i), int32(j), r})
-				hDeg[i]++
-				hDeg[j]++
+	for wi, cw := range C {
+		base := wi * 64
+		for ; cw != 0; cw &= cw - 1 {
+			i := base + bits.TrailingZeros64(cw)
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			cSize++
+			if cnt < minG {
+				minG = cnt
+			}
+			tmp.AndInto(C, e.adjG[i])
+			// Only pairs j > i: mask off bit i and everything below it in
+			// its word, then walk the remaining words.
+			wj := i / 64
+			w := tmp[wj] &^ (^uint64(0) >> (63 - uint(i)%64))
+			for jb := wj * 64; ; {
+				for ; w != 0; w &= w - 1 {
+					j := jb + bits.TrailingZeros64(w)
+					if r := e.rankOfLocal(i, j); r > maxRank {
+						e.edgeBuf = append(e.edgeBuf, localEdge{int32(i), int32(j), r})
+						hDeg[i]++
+						hDeg[j]++
+					}
+				}
+				wj++
+				if wj >= len(tmp) {
+					break
+				}
+				jb, w = wj*64, tmp[wj]
 			}
 		}
 	}
+	e.addPivot(t0)
+	edges := e.edgeBuf[edgeBase:]
 
 	// Early termination: the candidate graph is dense enough and carries no
 	// masked edge iff every candidate's G-degree equals its H-degree.
@@ -71,15 +98,17 @@ func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 				e.stats.EarlyTerminations++
 				e.stats.ETCliques += (e.stats.Cliques + e.stats.SuppressedLeaves) - before
 				e.setArena.Release(mark)
+				e.cntArena.release(imark)
+				e.edgeBuf = e.edgeBuf[:edgeBase]
 				return
 			}
 		}
 	}
 
-	sort.Slice(edges, func(i, j int) bool { return edges[i].rank < edges[j].rank })
+	slices.SortFunc(edges, func(x, y localEdge) int { return int(x.rank - y.rank) })
 
-	childC := e.setArena.Get()
-	childX := e.setArena.Get()
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
 	for _, f := range edges {
 		x, y := int(f.a), int(f.b)
 		// Candidates of the sub-branch: common neighbors whose edges to
@@ -90,11 +119,15 @@ func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 		childC.Clear()
 		childX.AndInto(X, e.adjG[x])
 		childX.AndWith(e.adjG[y])
-		for w := tmp.First(); w >= 0; w = tmp.NextAfter(w) {
-			if e.rankOfLocal(x, w) > f.rank && e.rankOfLocal(y, w) > f.rank {
-				childC.Set(w)
-			} else {
-				childX.Set(w)
+		for wi, w := range tmp {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				v := base + bits.TrailingZeros64(w)
+				if e.rankOfLocal(x, v) > f.rank && e.rankOfLocal(y, v) > f.rank {
+					childC.Set(v)
+				} else {
+					childX.Set(v)
+				}
 			}
 		}
 		e.S = append(e.S, e.verts[x], e.verts[y])
@@ -109,26 +142,37 @@ func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 	// Zero-degree candidates (Eq. 3): S ∪ {v} is maximal iff v is isolated
 	// in G[C ∪ X] — any neighbor either extends the clique (so S ∪ {v} is
 	// not maximal) or was covered by an earlier edge branch.
-	for v := C.First(); v >= 0; v = C.NextAfter(v) {
-		if hDeg[v] != 0 {
-			continue
+	for wi, cw := range C {
+		base := wi * 64
+		for ; cw != 0; cw &= cw - 1 {
+			v := base + bits.TrailingZeros64(cw)
+			if hDeg[v] != 0 {
+				continue
+			}
+			if e.adjG[v].AndAny(X) || e.adjG[v].AndAny(C) {
+				continue
+			}
+			e.S = append(e.S, e.verts[v])
+			e.emit(nil)
+			e.S = e.S[:len(e.S)-1]
 		}
-		if e.adjG[v].AndAny(X) || e.adjG[v].AndCount(C) > 0 {
-			continue
-		}
-		e.S = append(e.S, e.verts[v])
-		e.emit(nil)
-		e.S = e.S[:len(e.S)-1]
 	}
 	e.setArena.Release(mark)
+	e.cntArena.release(imark)
+	e.edgeBuf = e.edgeBuf[:edgeBase]
 }
 
 // edgeDegreesMatch reports whether every candidate's full-graph degree in C
-// equals its candidate-graph degree, i.e. no edge inside C is masked.
+// equals its candidate-graph degree, i.e. no edge inside C is masked. The
+// caller's scan left the full degrees in cntBuf.
 func edgeDegreesMatch(e *engine, C bitset.Set, hDeg []int32) bool {
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		if int(hDeg[i]) != e.adjG[i].AndCount(C) {
-			return false
+	for wi, cw := range C {
+		base := wi * 64
+		for ; cw != 0; cw &= cw - 1 {
+			i := base + bits.TrailingZeros64(cw)
+			if hDeg[i] != e.cntBuf[i] {
+				return false
+			}
 		}
 	}
 	return true
@@ -144,20 +188,35 @@ func (e *engine) switchToVertex(C, X bitset.Set, maxRank int32) {
 	// valid when maxRank equals that base rank, which the driver guarantees
 	// by calling vertexRec directly. Reaching here means a deeper switch, so
 	// build rows for the current candidates.
+	//
+	// The row table is an engine-level scratch slice: the vertex phase never
+	// re-enters the edge phase, so two switchToVertex frames are never live
+	// at once, and the recursion below only ever reads rows of vertices in
+	// its (shrinking) candidate set — stale entries outside C are never
+	// touched.
 	mark := e.setArena.Mark()
-	rows := make([]bitset.Set, len(e.verts))
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		row := e.setArena.Get()
-		rows[i] = row
-		for j := C.First(); j >= 0; j = C.NextAfter(j) {
-			if j == i || !e.adjG[i].Has(j) {
-				continue
-			}
-			if e.rankOfLocal(i, j) > maxRank {
-				row.Set(j)
+	if cap(e.maskRow) < len(e.verts) {
+		e.maskRow = make([]bitset.Set, len(e.verts))
+	}
+	rows := e.maskRow[:len(e.verts)]
+	C.ForEachWord(func(base int, cw uint64) {
+		for ; cw != 0; cw &= cw - 1 {
+			i := base + bits.TrailingZeros64(cw)
+			row := e.setArena.Get()
+			rows[i] = row
+			adj := e.adjG[i]
+			for wj, w := range C {
+				jb := wj * 64
+				w &= adj[wj]
+				for ; w != 0; w &= w - 1 {
+					j := jb + bits.TrailingZeros64(w)
+					if j != i && e.rankOfLocal(i, j) > maxRank {
+						row.Set(j)
+					}
+				}
 			}
 		}
-	}
+	})
 	e.vertexRec(rows, C, X)
 	e.setArena.Release(mark)
 }

@@ -32,15 +32,23 @@ type engine struct {
 	inner       InnerAlgorithm
 	switchDepth int
 
-	// Local universe of the current top-level branch.
-	verts   []int32      // local id -> residual id
-	localID []int32      // residual id -> local id, -1 when absent
-	adjG    []bitset.Set // full residual adjacency within the universe
-	adjH    []bitset.Set // masked adjacency (edge rank > branch base rank)
-	masked  bool
+	// Local universe of the current top-level branch. The residual→local
+	// map is epoch-stamped: local[v] packs (epoch, id) in one word and an
+	// entry is live only while its epoch matches the engine's. Installing a
+	// universe bumps the epoch, which invalidates every stale entry at once —
+	// engine setup stays O(universe), with no teardown pass and no O(n)
+	// refill.
+	verts      []int32      // local id -> residual id
+	local      []uint64     // residual id -> epoch<<32 | local id
+	localEpoch uint32       // current universe's stamp
+	univ       bitset.Set   // residual-id membership bitmap of the universe
+	adjG       []bitset.Set // full residual adjacency within the universe
+	adjH       []bitset.Set // masked adjacency (edge rank > branch base rank)
+	masked     bool
 
 	rowArena *bitset.Arena // adjacency rows; reset per top-level branch
 	setArena *bitset.Arena // recursion sets; mark/release per node
+	cntArena i32Arena      // per-level int32 scratch; mark/release per node
 
 	S       []int32          // current partial clique (residual ids)
 	resBuf  []int32          // residual-id assembly buffer for emits
@@ -48,6 +56,8 @@ type engine struct {
 	listBuf []int32          // scratch for materialised candidate lists
 	sideBuf []int32          // per-candidate side-edge ids for incidence row fills
 	cnBuf   []commonNeighbor // per-branch common-neighbor scratch
+	edgeBuf []localEdge      // edgeRec candidate-edge scratch, stacked across levels
+	maskRow []bitset.Set     // switchToVertex masked-row table (never nested)
 
 	// Early-termination scratch (see et.go).
 	cntBuf       []int32 // per-local-id candidate counts from the caller's scan
@@ -56,6 +66,10 @@ type engine struct {
 	compVisited  []bool
 	fBuf, nonF   []int32
 	walkBuf      []int32
+
+	// timed enables the per-phase nanosecond counters in Stats
+	// (Options.PhaseTimers); when false the clock is never read.
+	timed bool
 
 	// Edge-ordering context for EBBMC/HBBMC.
 	eo  truss.EdgeOrder
@@ -73,14 +87,35 @@ func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats,
 		stats:    stats,
 		emitFn:   emit,
 		rc:       rc,
-		localID:  make([]int32, res.NumVertices()),
+		timed:    opts.PhaseTimers,
+		local:    make([]uint64, res.NumVertices()),
+		univ:     bitset.New(res.NumVertices()),
 		rowArena: bitset.NewArena(0),
 		setArena: bitset.NewArena(0),
 	}
-	for i := range e.localID {
-		e.localID[i] = -1
-	}
 	return e
+}
+
+// localOf returns the local id of residual vertex v in the current universe,
+// or -1 when v is not a member. The epoch compare makes stale entries from
+// earlier universes read as absent without any per-branch cleanup.
+func (e *engine) localOf(v int32) int32 {
+	x := e.local[v]
+	if uint32(x>>32) != e.localEpoch {
+		return -1
+	}
+	return int32(uint32(x))
+}
+
+// bumpEpoch advances the universe stamp. On the (theoretical) uint32 wrap
+// the whole map is cleared so entries stamped a full cycle ago cannot read
+// as live.
+func (e *engine) bumpEpoch() {
+	e.localEpoch++
+	if e.localEpoch == 0 {
+		clear(e.local)
+		e.localEpoch = 1
+	}
 }
 
 // setUniverse installs vs (residual ids) as the branch-local universe and
@@ -99,35 +134,66 @@ func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats,
 // degrees) or probing member pairs with binary searches (good for small
 // universes around high-degree hubs).
 func (e *engine) setUniverse(vs []int32, baseRank int32, rowCount int) {
+	t0 := e.now()
 	degSum := e.installUniverse(vs, baseRank, rowCount)
-	// ~8 comparisons per binary-search probe is the break-even estimate.
-	if rowCount*len(vs)*8 < degSum {
+	if pairwiseCheaper(rowCount, len(vs), degSum) {
 		e.fillRowsPairwise(baseRank, rowCount)
 	} else {
 		e.fillRowsByScan(baseRank, rowCount)
 	}
+	e.addUniverse(t0)
+}
+
+// withXRows is the shared break-even heuristic of the two top-level
+// drivers: exclusion members get adjacency rows of their own (restoring
+// full Tomita pivot quality over C ∪ X) only when the branch is
+// recursion-heavy — enough candidates absolutely, and candidates not
+// dwarfed by the exclusion side whose rows would dominate the build cost.
+func withXRows(inC, universe int) bool {
+	return inC >= 12 && 4*inC >= universe
+}
+
+// pairwiseCheaper is the row-filling strategy choice of setUniverse:
+// ~8 comparisons per binary-search probe is the break-even estimate against
+// scanning the full adjacency of every row-bearing member. The product is
+// computed in int64 — rowCount·universe·8 overflows 32-bit ints already at
+// ~16k-vertex universes, and a wrapped negative estimate would silently
+// force the pairwise strategy on exactly the branches where it is most
+// expensive.
+func pairwiseCheaper(rowCount, universe int, degSum int64) bool {
+	return int64(rowCount)*int64(universe)*8 < degSum
 }
 
 // installUniverse performs the bookkeeping shared by all row-filling
 // strategies: local-id mapping, arena resets and zeroed rows for the first
 // rowCount members. It returns the degree sum of the row-bearing members.
-func (e *engine) installUniverse(vs []int32, baseRank int32, rowCount int) int {
+func (e *engine) installUniverse(vs []int32, baseRank int32, rowCount int) int64 {
 	k := len(vs)
+	// The membership bitmap is the cache-resident first-level filter of the
+	// row-fill probes (1 bit per residual vertex vs 8 bytes in the id map);
+	// clear the previous universe's bits before vs overwrites verts.
+	for _, v := range e.verts {
+		e.univ.Unset(int(v))
+	}
 	e.verts = append(e.verts[:0], vs...)
 	e.masked = baseRank >= 0
 	e.rowArena.Reset(k)
 	e.setArena.Reset(k)
+	e.cntArena.reset()
+	e.bumpEpoch()
 	if cap(e.adjG) < k {
 		e.adjG = make([]bitset.Set, k)
 		e.adjH = make([]bitset.Set, k)
 	}
 	e.adjG = e.adjG[:k]
 	e.adjH = e.adjH[:k]
-	degSum := 0
+	degSum := int64(0)
+	stamp := uint64(e.localEpoch) << 32
 	for i, v := range vs {
-		e.localID[v] = int32(i)
+		e.local[v] = stamp | uint64(uint32(i))
+		e.univ.Set(int(v))
 		if i < rowCount {
-			degSum += e.g.Degree(v)
+			degSum += int64(e.g.Degree(v))
 		}
 	}
 	for i := range vs {
@@ -161,10 +227,11 @@ func (e *engine) fillRowsFromIncidence(baseRank int32, rowCount int) {
 		wIsDst := w == dst
 		lo, hi := e.inc.Range(se)
 		for t := lo; t < hi; t++ {
-			j := e.localID[e.inc.Third(t)]
-			if j < 0 {
+			third := e.inc.Third(t)
+			if !e.univ.Has(int(third)) {
 				continue
 			}
+			j := e.localOf(third)
 			rowG.Set(int(j))
 			var wx int32
 			if wIsDst {
@@ -187,10 +254,12 @@ func (e *engine) fillRowsByScan(baseRank int32, rowCount int) {
 		nbrs := e.g.Neighbors(v)
 		eids := e.g.IncidentEdgeIDs(v)
 		for t, w := range nbrs {
-			j := e.localID[w]
-			if j < 0 {
+			// Bitmap first: most neighbors are outside the universe, and the
+			// bit probe stays in cache where the id-map load would miss.
+			if !e.univ.Has(int(w)) {
 				continue
 			}
+			j := e.localOf(w)
 			rowG.Set(int(j))
 			if e.masked && e.eo.Rank[eids[t]] > baseRank {
 				rowH.Set(int(j))
@@ -218,13 +287,6 @@ func (e *engine) fillRowsPairwise(baseRank int32, rowCount int) {
 				}
 			}
 		}
-	}
-}
-
-// clearUniverse removes the local-id mapping of the current universe.
-func (e *engine) clearUniverse() {
-	for _, v := range e.verts {
-		e.localID[v] = -1
 	}
 }
 
@@ -274,6 +336,8 @@ func (e *engine) emit(extraLocal []int32) {
 	if e.rc.stopped() {
 		return
 	}
+	t0 := e.now()
+	defer e.addEmit(t0)
 	e.resBuf = append(e.resBuf[:0], e.S...)
 	for _, li := range extraLocal {
 		e.resBuf = append(e.resBuf, e.verts[li])
@@ -323,23 +387,26 @@ func (e *engine) tryEarlyTerminate(adjH []bitset.Set, C, X bitset.Set, cSize, mi
 	if !X.IsEmpty() {
 		return false
 	}
-	if adjH != nil {
+	t0 := e.now()
+	if adjH != nil && e.maskedEdgesIn(adjH, C) {
 		// A masked candidate edge would make cliques of G[C] differ from
 		// cliques of the branch's candidate graph; the construction only
-		// applies when the two adjacencies agree on C.
-		for i := C.First(); i >= 0; i = C.NextAfter(i) {
-			if e.adjG[i].AndCount(C) != adjH[i].AndCount(C) {
-				return false
-			}
-		}
+		// applies when the two adjacencies agree on C. Masked rows are
+		// subsets of the full rows, so agreement is exactly "no masked
+		// candidate edge" — one word-level XOR pass instead of two
+		// popcount passes per candidate.
+		e.addET(t0)
+		return false
 	}
 	before := e.stats.Cliques + e.stats.SuppressedLeaves
 	if !e.emitPlexDirect(C, cSize) {
 		// Defensive: unreachable when the t ≤ 3 plex check passed.
+		e.addET(t0)
 		return false
 	}
 	e.stats.EarlyTerminations++
 	e.stats.ETCliques += (e.stats.Cliques + e.stats.SuppressedLeaves) - before
+	e.addET(t0)
 	return true
 }
 

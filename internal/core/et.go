@@ -1,6 +1,10 @@
 package core
 
-import "github.com/graphmining/hbbmc/internal/bitset"
+import (
+	"math/bits"
+
+	"github.com/graphmining/hbbmc/internal/bitset"
+)
 
 // This file implements the early-termination construction (Section IV of
 // the paper) on the engine's bitset universes: when a branch's candidate
@@ -35,25 +39,29 @@ func (e *engine) emitPlexDirect(C bitset.Set, cSize int) bool {
 	// Every caller has just filled cntBuf for this C (see ensureCnt sites).
 	e.fBuf = e.fBuf[:0]
 	e.nonF = e.nonF[:0]
-	for v := C.First(); v >= 0; v = C.NextAfter(v) {
-		cnt := int(e.cntBuf[v])
-		if cnt == cSize-1 {
-			e.fBuf = append(e.fBuf, int32(v))
-			continue
+	for wi, cw := range C {
+		base := wi * 64
+		for ; cw != 0; cw &= cw - 1 {
+			v := base + bits.TrailingZeros64(cw)
+			cnt := int(e.cntBuf[v])
+			if cnt == cSize-1 {
+				e.fBuf = append(e.fBuf, int32(v))
+				continue
+			}
+			// At most two complement neighbors (t ≤ 3 guarantees it).
+			tmp.AndNotInto(C, e.adjG[v])
+			tmp.Unset(v)
+			if tmp.CountCapped(3) > 2 {
+				e.setArena.Release(mark)
+				return false
+			}
+			first := tmp.First()
+			second := tmp.NextAfter(first)
+			e.compA[v] = int32(first)
+			e.compB[v] = int32(second) // -1 when complement degree is 1
+			e.compVisited[v] = false
+			e.nonF = append(e.nonF, int32(v))
 		}
-		// At most two complement neighbors (t ≤ 3 guarantees it).
-		tmp.AndNotInto(C, e.adjG[v])
-		tmp.Unset(v)
-		first := tmp.First()
-		second := tmp.NextAfter(first)
-		if second >= 0 && tmp.NextAfter(second) >= 0 {
-			e.setArena.Release(mark)
-			return false
-		}
-		e.compA[v] = int32(first)
-		e.compB[v] = int32(second) // -1 when complement degree is 1
-		e.compVisited[v] = false
-		e.nonF = append(e.nonF, int32(v))
 	}
 
 	s := &e.plexScratch

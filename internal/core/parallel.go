@@ -97,6 +97,13 @@ func configureEngine(e *engine, opts Options) {
 // driver passes the whole range, the dynamic scheduler contiguous chunks
 // (stride 1), and the static-stride ablation the legacy modulo slicing.
 // Cancellation and early stops are observed once per top-level branch.
+//
+// Each branch universe is laid out candidates-first (later neighbors of v,
+// then earlier ones), mirroring the edge-oriented top level: exclusion
+// members only need adjacency rows of their own to compete as Tomita
+// pivots, so their rows — the dominant share of the build cost around hubs,
+// whose earlier-neighbor side is unbounded by δ — are built only when the
+// branch is recursion-heavy enough for pivot quality to pay for them.
 func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int) {
 	for i := begin; i < end; i += stride {
 		if e.rc.halted() {
@@ -104,20 +111,35 @@ func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int)
 		}
 		v := ord[i]
 		nbrs := e.g.Neighbors(v)
-		e.setUniverse(nbrs, -1, len(nbrs))
+		pv := pos[v]
+		e.listBuf = e.listBuf[:0]
+		for _, w := range nbrs {
+			if pos[w] > pv {
+				e.listBuf = append(e.listBuf, w)
+			}
+		}
+		inC := len(e.listBuf)
+		for _, w := range nbrs {
+			if pos[w] <= pv {
+				e.listBuf = append(e.listBuf, w)
+			}
+		}
+		rowCount := inC
+		if withXRows(inC, len(nbrs)) {
+			rowCount = len(nbrs)
+		}
+		e.setUniverse(e.listBuf, -1, rowCount)
 		C := e.setArena.Get()
 		X := e.setArena.Get()
-		for j, w := range nbrs {
-			if pos[w] > pos[v] {
-				C.Set(j)
-			} else {
-				X.Set(j)
-			}
+		for j := 0; j < inC; j++ {
+			C.Set(j)
+		}
+		for j := inC; j < len(nbrs); j++ {
+			X.Set(j)
 		}
 		e.S = append(e.S[:0], v)
 		e.stats.TopBranches++
 		e.vertexRec(nil, C, X)
-		e.clearUniverse()
 	}
 }
 
@@ -130,6 +152,36 @@ func (e *engine) runEdgeOrderedRange(begin, end, stride int) {
 			return
 		}
 		e.runEdgeBranch(e.eo.Order[i])
+	}
+}
+
+// runEdgeOrderedSched processes the edge-order positions sched[begin:end]
+// (raw positions [begin, end) when sched is nil) — the cost-ordered variant
+// the dynamic scheduler feeds with contiguous chunks.
+func (e *engine) runEdgeOrderedSched(sched []int32, begin, end int) {
+	for i := begin; i < end; i++ {
+		if e.rc.halted() {
+			return
+		}
+		p := i
+		if sched != nil {
+			p = int(sched[i])
+		}
+		e.runEdgeBranch(e.eo.Order[p])
+	}
+}
+
+// runVertexOrderedSched is runEdgeOrderedSched's vertex-ordered sibling.
+func (e *engine) runVertexOrderedSched(ord, pos, sched []int32, begin, end int) {
+	for i := begin; i < end; i++ {
+		if e.rc.halted() {
+			return
+		}
+		p := i
+		if sched != nil {
+			p = int(sched[i])
+		}
+		e.runVertexOrderedRange(ord, pos, p, p+1, 1)
 	}
 }
 
@@ -147,4 +199,8 @@ func (s *Stats) merge(o *Stats) {
 	s.EarlyTerminations += o.EarlyTerminations
 	s.ETCliques += o.ETCliques
 	s.SuppressedLeaves += o.SuppressedLeaves
+	s.UniverseTime += o.UniverseTime
+	s.PivotTime += o.PivotTime
+	s.ETTime += o.ETTime
+	s.EmitTime += o.EmitTime
 }

@@ -20,6 +20,11 @@ type workQueue struct {
 	n       int64
 	workers int64
 	fixed   int64
+	// rampUp inverts the guided decay for cost-ordered queues: the head of
+	// the queue holds the most expensive branches, which must be handed out
+	// singly (the LPT heuristic) while chunks grow toward the cheap tail,
+	// where batching only saves queue traffic.
+	rampUp bool
 }
 
 func newWorkQueue(n, workers, fixed int) *workQueue {
@@ -40,9 +45,13 @@ func (q *workQueue) next() (begin, end int, ok bool) {
 		}
 		chunk := q.fixed
 		if chunk <= 0 {
-			chunk = remaining / (q.workers * guidedDivisor)
-			if chunk < 1 {
-				chunk = 1
+			if q.rampUp {
+				chunk = cur/(q.workers*guidedDivisor) + 1
+			} else {
+				chunk = remaining / (q.workers * guidedDivisor)
+				if chunk < 1 {
+					chunk = 1
+				}
 			}
 		}
 		if chunk > remaining {

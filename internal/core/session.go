@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,8 +42,65 @@ type Session struct {
 	eo               truss.EdgeOrder
 	inc              *truss.Incidence
 
+	// Parallel branch schedule: top-level ordering positions sorted by
+	// descending estimated cost, built lazily on the first parallel query
+	// and shared by all of them (a Session is immutable otherwise).
+	scheduleOnce sync.Once
+	schedule     []int32
+
 	delta, tau, hIndex int
 	prepTime           time.Duration
+}
+
+// branchSchedule returns the order in which the parallel driver hands
+// top-level branches to the work queue: ordering positions sorted by
+// descending estimated branch cost, so the expensive branches start first
+// and cannot strand the run's tail on one worker (the LPT heuristic of the
+// shared-memory parallel MCE literature). The estimate is the size of the
+// branch's candidate universe — the triangle count of the edge for the
+// edge-oriented frameworks, the later-neighbor count of the vertex for the
+// ordered vertex frameworks. Returns nil (raw ordering positions) when cost
+// ordering is ablated.
+func (s *Session) branchSchedule() []int32 {
+	if ablateCostOrder {
+		return nil
+	}
+	s.scheduleOnce.Do(func() {
+		var cost []int32
+		switch s.opts.Algorithm {
+		case EBBMC, HBBMC:
+			cost = make([]int32, len(s.eo.Order))
+			for i, eid := range s.eo.Order {
+				cost[i] = s.inc.Count(eid)
+			}
+		default:
+			cost = make([]int32, len(s.vertOrd))
+			for i, v := range s.vertOrd {
+				later := int32(0)
+				pv := s.vertPos[v]
+				for _, w := range s.res.Neighbors(v) {
+					if s.vertPos[w] > pv {
+						later++
+					}
+				}
+				cost[i] = later
+			}
+		}
+		perm := make([]int32, len(cost))
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		// One entry per edge on the edge-driven frameworks — use the
+		// non-reflective generic sort.
+		slices.SortFunc(perm, func(a, b int32) int {
+			if ca, cb := cost[a], cost[b]; ca != cb {
+				return int(cb - ca) // descending cost
+			}
+			return int(a - b) // deterministic tie-break
+		})
+		s.schedule = perm
+	})
+	return s.schedule
 }
 
 // NewSession validates opts and computes the preprocessing for g once:
@@ -281,7 +339,12 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 	if edgeDriven {
 		items = len(s.eo.Order)
 	}
+	var sched []int32
+	if !ablateStaticStride {
+		sched = s.branchSchedule()
+	}
 	queue := newWorkQueue(items, workers, s.opts.ParallelChunkSize)
+	queue.rampUp = sched != nil && s.opts.ParallelChunkSize <= 0
 	sink := &emitSink{visit: visit, rc: rc}
 
 	workerStats := make([]*Stats, workers)
@@ -320,9 +383,9 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 						break
 					}
 					if edgeDriven {
-						e.runEdgeOrderedRange(begin, end, 1)
+						e.runEdgeOrderedSched(sched, begin, end)
 					} else {
-						e.runVertexOrderedRange(s.vertOrd, s.vertPos, begin, end, 1)
+						e.runVertexOrderedSched(s.vertOrd, s.vertPos, sched, begin, end)
 					}
 				}
 			}

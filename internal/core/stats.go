@@ -61,6 +61,18 @@ type Stats struct {
 	OrderingTime time.Duration `json:"ordering_time_ns"`
 	EnumTime     time.Duration `json:"enum_time_ns"`
 
+	// Per-phase counters, populated only when Options.PhaseTimers is set:
+	// UniverseTime covers branch-local universe installation and adjacency
+	// row building, PivotTime the pivot-selection / candidate-degree
+	// scans, ETTime the early-termination checks and plex construction,
+	// EmitTime clique assembly and visitor delivery. Phases nest (an ET
+	// closure times the emits it performs), so they overlap and do not sum
+	// to EnumTime; parallel runs accumulate wall time across workers.
+	UniverseTime time.Duration `json:"universe_time_ns,omitempty"`
+	PivotTime    time.Duration `json:"pivot_time_ns,omitempty"`
+	ETTime       time.Duration `json:"et_time_ns,omitempty"`
+	EmitTime     time.Duration `json:"emit_time_ns,omitempty"`
+
 	// Workers is the number of goroutines that actually executed the
 	// enumeration: 1 for the sequential driver (including parallel
 	// fallbacks), the effective post-clamp count for parallel runs.

@@ -1,12 +1,23 @@
 package core
 
-import "github.com/graphmining/hbbmc/internal/bitset"
+import (
+	"math"
+	"math/bits"
+
+	"github.com/graphmining/hbbmc/internal/bitset"
+)
 
 // This file contains the vertex-oriented recursions. All share the same
 // contract: (S implicit in e.S, C, X) is a branch; C and X are bitsets over
 // the current local universe owned by the callee (they may be mutated);
 // adjH is the masked candidate adjacency inside hybrid branches (nil
 // otherwise — then the full adjacency e.adjG applies to candidates too).
+//
+// Hot loops iterate bitsets word-by-word (TrailingZeros64 + w&(w-1)) rather
+// than through per-bit First/NextAfter calls, and compute candidate degrees
+// with the fused intersect+popcount kernels of internal/bitset. The
+// ablateUnfusedKernels toggle reverts the scans to the per-bit composed
+// forms so the fused path's contribution stays measurable.
 
 // pivotRec is the classic Tomita pivot recursion used by BK_Pivot, BK_Degen,
 // BK_Degree and as the default inner recursion of HBBMC: pick the vertex of
@@ -39,18 +50,24 @@ func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
 		return
 	}
 	mark := e.setArena.Mark()
-	P := e.setArena.Get()
+	P := e.setArena.GetUnzeroed()
 	P.AndNotInto(C, e.adjG[pivot])
-	childC := e.setArena.Get()
-	childX := e.setArena.Get()
-	tmp := e.setArena.Get()
-	for v := P.First(); v >= 0; v = P.NextAfter(v) {
-		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
-		e.S = append(e.S, e.verts[v])
-		e.pivotRec(adjH, childC, childX)
-		e.S = e.S[:len(e.S)-1]
-		C.Unset(v)
-		X.Set(v)
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
+	tmp := e.setArena.GetUnzeroed()
+	// P is never mutated inside the loop (only C and X are), so the word
+	// snapshot iteration is safe.
+	for wi, w := range P {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			v := base + bits.TrailingZeros64(w)
+			e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+			e.S = append(e.S, e.verts[v])
+			e.pivotRec(adjH, childC, childX)
+			e.S = e.S[:len(e.S)-1]
+			C.Unset(v)
+			X.Set(v)
+		}
 	}
 	e.setArena.Release(mark)
 }
@@ -61,39 +78,78 @@ func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
 // skips building them) are not considered as pivots; candidates always
 // provide a valid pivot.
 func (e *engine) scanPivot(C, X bitset.Set) (cSize, minDeg, pivot int) {
-	cSize, minDeg, pivot = 0, int(^uint(0)>>1), -1
+	t0 := e.now()
+	cSize, minDeg, pivot = 0, math.MaxInt, -1
 	best := -1
 	e.ensureCnt()
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		cSize++
-		cnt := e.adjG[i].AndCount(C)
-		e.cntBuf[i] = int32(cnt)
-		if cnt > best {
-			best, pivot = cnt, i
+	if ablateUnfusedKernels {
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cSize++
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			if cnt > best {
+				best, pivot = cnt, i
+			}
+			if cnt < minDeg {
+				minDeg = cnt
+			}
 		}
-		if cnt < minDeg {
-			minDeg = cnt
+		for i := X.First(); i >= 0; i = X.NextAfter(i) {
+			if e.adjG[i] == nil {
+				continue
+			}
+			if cnt := e.adjG[i].AndCount(C); cnt > best {
+				best, pivot = cnt, i
+			}
+		}
+		e.addPivot(t0)
+		return cSize, minDeg, pivot
+	}
+	adj := e.adjG
+	cnt := e.cntBuf
+	for wi, w := range C {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			c := adj[i].AndCount(C)
+			cnt[i] = int32(c)
+			cSize++
+			if c > best {
+				best, pivot = c, i
+			}
+			if c < minDeg {
+				minDeg = c
+			}
 		}
 	}
-	for i := X.First(); i >= 0; i = X.NextAfter(i) {
-		if e.adjG[i] == nil {
-			continue
-		}
-		if cnt := e.adjG[i].AndCount(C); cnt > best {
-			best, pivot = cnt, i
+	for wi, w := range X {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			if adj[i] == nil {
+				continue
+			}
+			if c := adj[i].AndCount(C); c > best {
+				best, pivot = c, i
+			}
 		}
 	}
+	e.addPivot(t0)
 	return cSize, minDeg, pivot
 }
 
 // maskedEdgesIn reports whether any candidate-candidate edge is masked:
 // some candidate's masked row differs from its full row on C.
 func (e *engine) maskedEdgesIn(adjH []bitset.Set, C bitset.Set) bool {
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		rowG, rowH := e.adjG[i], adjH[i]
-		for w := range C {
-			if (rowG[w]^rowH[w])&C[w] != 0 {
-				return true
+	for wi, cw := range C {
+		base := wi * 64
+		for ; cw != 0; cw &= cw - 1 {
+			i := base + bits.TrailingZeros64(cw)
+			rowG, rowH := e.adjG[i], adjH[i]
+			for w := range C {
+				if (rowG[w]^rowH[w])&C[w] != 0 {
+					return true
+				}
 			}
 		}
 	}
@@ -119,13 +175,18 @@ func (e *engine) xDominated(C, X bitset.Set) bool {
 		return false
 	}
 	mark := e.setArena.Mark()
-	fold := e.setArena.Get()
+	fold := e.setArena.GetUnzeroed()
 	fold.CopyFrom(X)
-	for c := C.First(); c >= 0; c = C.NextAfter(c) {
-		fold.AndWith(e.adjG[c])
-		if fold.IsEmpty() {
-			e.setArena.Release(mark)
-			return false
+	for wi, w := range C {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			c := base + bits.TrailingZeros64(w)
+			// Fold and test emptiness in one pass (aliasing fold as both
+			// destination and operand is safe: same-index read then write).
+			if fold.AndIntoCount(fold, e.adjG[c]) == 0 {
+				e.setArena.Release(mark)
+				return false
+			}
 		}
 	}
 	e.setArena.Release(mark)
@@ -153,23 +214,47 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 	if e.xDominated(C, X) {
 		return
 	}
+	t0 := e.now()
 	cSize := C.Count()
-	minDeg, universal := int(^uint(0)>>1), -1
+	minDeg, universal := math.MaxInt, -1
 	best, pivot := -1, -1
 	e.ensureCnt()
-	for i := C.First(); i >= 0; i = C.NextAfter(i) {
-		cnt := e.adjG[i].AndCount(C)
-		e.cntBuf[i] = int32(cnt)
-		if cnt > best {
-			best, pivot = cnt, i
+	if ablateUnfusedKernels {
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			if cnt > best {
+				best, pivot = cnt, i
+			}
+			if cnt < minDeg {
+				minDeg = cnt
+			}
+			if cnt == cSize-1 && universal < 0 {
+				universal = i
+			}
 		}
-		if cnt < minDeg {
-			minDeg = cnt
-		}
-		if cnt == cSize-1 && universal < 0 {
-			universal = i
+	} else {
+		adj := e.adjG
+		cnt := e.cntBuf
+		for wi, w := range C {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				i := base + bits.TrailingZeros64(w)
+				c := adj[i].AndCount(C)
+				cnt[i] = int32(c)
+				if c > best {
+					best, pivot = c, i
+				}
+				if c < minDeg {
+					minDeg = c
+				}
+				if c == cSize-1 && universal < 0 {
+					universal = i
+				}
+			}
 		}
 	}
+	e.addPivot(t0)
 	if adjH != nil && !ablateMaskDrop && !e.maskedEdgesIn(adjH, C) {
 		adjH = nil
 	}
@@ -182,8 +267,8 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 	// move would be unsound.
 	if adjH == nil && universal >= 0 {
 		mark := e.setArena.Mark()
-		childC := e.setArena.Get()
-		childX := e.setArena.Get()
+		childC := e.setArena.GetUnzeroed()
+		childX := e.setArena.GetUnzeroed()
 		childC.CopyFrom(C)
 		childC.Unset(universal)
 		childX.AndInto(X, e.adjG[universal])
@@ -194,18 +279,22 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 		return
 	}
 	mark := e.setArena.Mark()
-	P := e.setArena.Get()
+	P := e.setArena.GetUnzeroed()
 	P.AndNotInto(C, e.adjG[pivot])
-	childC := e.setArena.Get()
-	childX := e.setArena.Get()
-	tmp := e.setArena.Get()
-	for v := P.First(); v >= 0; v = P.NextAfter(v) {
-		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
-		e.S = append(e.S, e.verts[v])
-		e.refRec(adjH, childC, childX)
-		e.S = e.S[:len(e.S)-1]
-		C.Unset(v)
-		X.Set(v)
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
+	tmp := e.setArena.GetUnzeroed()
+	for wi, w := range P {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			v := base + bits.TrailingZeros64(w)
+			e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+			e.S = append(e.S, e.verts[v])
+			e.refRec(adjH, childC, childX)
+			e.S = e.S[:len(e.S)-1]
+			C.Unset(v)
+			X.Set(v)
+		}
 	}
 	e.setArena.Release(mark)
 }
@@ -213,7 +302,150 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 // rcdRec is BK_Rcd (Algorithm 9 of the paper, from [11]): repeatedly branch
 // at the candidate of minimum candidate-graph degree until the candidate
 // graph becomes a clique, then report S ∪ C if no exclusion vertex covers C.
+//
+// Candidate degrees are scanned once per call and then maintained
+// incrementally: branching vertex v away only decrements the counts of v's
+// neighbors inside C, so each removal step costs one row intersection plus
+// an O(|C|) integer min-scan instead of |C| full row intersections. The
+// counts live in the per-level cntArena, so the recursive call's own scan
+// cannot clobber the parent's.
 func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
+	if ablateUnfusedKernels {
+		e.rcdRecRescan(adjH, C, X)
+		return
+	}
+	if e.rc.stopped() {
+		return
+	}
+	e.stats.Calls++
+	e.stats.VertexCalls++
+	if C.IsEmpty() {
+		if X.IsEmpty() {
+			e.emit(nil)
+		}
+		return
+	}
+	k := len(e.verts)
+	mark := e.setArena.Mark()
+	imark := e.cntArena.mark()
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
+	tmp := e.setArena.GetUnzeroed()
+
+	// One full scan: candidate-graph degrees (masked adjacency in hybrid
+	// branches) drive the clique test and the branching choice; full
+	// degrees drive the t-plex test. Min tracking rides along, so the first
+	// loop iteration needs no extra pass.
+	cntG := e.cntArena.get(k)
+	cntH := cntG
+	if adjH != nil {
+		cntH = e.cntArena.get(k)
+	}
+	t0 := e.now()
+	cSize := 0
+	minH, minV := math.MaxInt, -1
+	minG := math.MaxInt
+	for wi, w := range C {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			cSize++
+			g := int(e.adjG[i].AndCount(C))
+			cntG[i] = int32(g)
+			h := g
+			if adjH != nil {
+				h = int(adjH[i].AndCount(C))
+				cntH[i] = int32(h)
+			}
+			if h < minH {
+				minH, minV = h, i
+			}
+			if g < minG {
+				minG = g
+			}
+		}
+	}
+	e.addPivot(t0)
+	for {
+		// tryEarlyTerminate reads the candidate counts from cntBuf; alias
+		// the maintained counts in (read-only below emitPlexDirect) when
+		// the t-plex precondition can actually hold — the same condition
+		// tryEarlyTerminate checks first.
+		if t := e.opts.ET; t != 0 && minG >= cSize-t {
+			saved := e.cntBuf
+			e.cntBuf = cntG
+			closed := e.tryEarlyTerminate(adjH, C, X, cSize, minG)
+			e.cntBuf = saved
+			if closed {
+				e.setArena.Release(mark)
+				e.cntArena.release(imark)
+				return
+			}
+		}
+		if minH == cSize-1 {
+			break // candidate graph is a clique
+		}
+		e.deriveChild(adjH, C, X, minV, childC, childX, tmp)
+		e.S = append(e.S, e.verts[minV])
+		e.rcdRec(adjH, childC, childX)
+		e.S = e.S[:len(e.S)-1]
+		C.Unset(minV)
+		X.Set(minV)
+		cSize--
+		if cSize == 0 {
+			// All candidates were branched away; the vertices now in X
+			// block maximality of S itself.
+			e.setArena.Release(mark)
+			e.cntArena.release(imark)
+			return
+		}
+		// Removing minV from C decrements the candidate degree of exactly
+		// its neighbors inside C — one row intersection instead of the
+		// |C| full-row rescans of the composed form.
+		tmp.AndInto(C, e.adjG[minV])
+		for wi, w := range tmp {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				cntG[base+bits.TrailingZeros64(w)]--
+			}
+		}
+		if adjH != nil {
+			tmp.AndInto(C, adjH[minV])
+			for wi, w := range tmp {
+				base := wi * 64
+				for ; w != 0; w &= w - 1 {
+					cntH[base+bits.TrailingZeros64(w)]--
+				}
+			}
+		}
+		// Min-rescan over the maintained counts: O(|C|) integer reads.
+		minH, minV, minG = math.MaxInt, -1, math.MaxInt
+		for wi, w := range C {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				i := base + bits.TrailingZeros64(w)
+				if h := int(cntH[i]); h < minH {
+					minH, minV = h, i
+				}
+				if g := int(cntG[i]); g < minG {
+					minG = g
+				}
+			}
+		}
+	}
+	// C is a candidate-graph clique; S ∪ C is maximal unless some exclusion
+	// vertex is adjacent to all of C.
+	if !e.xDominated(C, X) {
+		e.emitSet(C)
+	}
+	e.setArena.Release(mark)
+	e.cntArena.release(imark)
+}
+
+// rcdRecRescan is the pre-fused BK_Rcd inner loop — a full candidate-degree
+// rescan per removal step — kept verbatim for the ablateUnfusedKernels
+// measurement.
+func (e *engine) rcdRecRescan(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return
 	}
@@ -231,12 +463,9 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 	tmp := e.setArena.Get()
 	cSize := 0
 	for {
-		// Scan C: candidate-graph degrees (masked adjacency in hybrid
-		// branches) drive the clique test and the branching choice; full
-		// degrees drive the t-plex test.
 		cSize = 0
-		minH, minV := int(^uint(0)>>1), -1
-		minG := int(^uint(0) >> 1)
+		minH, minV := math.MaxInt, -1
+		minG := math.MaxInt
 		e.ensureCnt()
 		for i := C.First(); i >= 0; i = C.NextAfter(i) {
 			cSize++
@@ -256,8 +485,6 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 			}
 		}
 		if cSize == 0 {
-			// All candidates were branched away; the vertices now in X
-			// block maximality of S itself.
 			e.setArena.Release(mark)
 			return
 		}
@@ -266,17 +493,15 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 			return
 		}
 		if minH == cSize-1 {
-			break // candidate graph is a clique
+			break
 		}
 		e.deriveChild(adjH, C, X, minV, childC, childX, tmp)
 		e.S = append(e.S, e.verts[minV])
-		e.rcdRec(adjH, childC, childX)
+		e.rcdRecRescan(adjH, childC, childX)
 		e.S = e.S[:len(e.S)-1]
 		C.Unset(minV)
 		X.Set(minV)
 	}
-	// C is a candidate-graph clique; S ∪ C is maximal unless some exclusion
-	// vertex is adjacent to all of C.
 	if !e.xDominated(C, X) {
 		e.emitSet(C)
 	}
@@ -299,28 +524,18 @@ func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
 		return
 	}
 	if e.opts.ET > 0 {
-		cSize, minDeg := 0, int(^uint(0)>>1)
-		e.ensureCnt()
-		for i := C.First(); i >= 0; i = C.NextAfter(i) {
-			cSize++
-			cnt := e.adjG[i].AndCount(C)
-			e.cntBuf[i] = int32(cnt)
-			if cnt < minDeg {
-				minDeg = cnt
-			}
-		}
+		cSize, minDeg := e.scanDegrees(C)
 		if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
 			return
 		}
 	}
 	mark := e.setArena.Mark()
-	P := e.setArena.Get()
+	P := e.setArena.GetUnzeroed()
 	v := C.First()
-	P.AndNotInto(C, e.adjG[v])
-	pCount := P.Count()
-	childC := e.setArena.Get()
-	childX := e.setArena.Get()
-	tmp := e.setArena.Get()
+	pCount := P.AndNotIntoCount(C, e.adjG[v])
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
+	tmp := e.setArena.GetUnzeroed()
 	for {
 		u := P.First()
 		if u < 0 {
@@ -334,13 +549,50 @@ func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
 		X.Set(u)
 		P.Unset(u)
 		pCount--
-		// Adopt u as the new pivot when that shrinks the branch set.
-		if alt := C.Count() - C.AndCount(e.adjG[u]); alt < pCount {
-			P.AndNotInto(C, e.adjG[u])
-			pCount = alt
+		// Adopt u as the new pivot when that shrinks the branch set
+		// (|C \ N(u)| in one fused pass).
+		if alt := C.AndNotCount(e.adjG[u]); alt < pCount {
+			pCount = P.AndNotIntoCount(C, e.adjG[u])
 		}
 	}
 	e.setArena.Release(mark)
+}
+
+// scanDegrees fills cntBuf with the candidate degrees inside C and returns
+// |C| and the minimum degree — the inputs of the t-plex test for recursions
+// that do not need a pivot.
+func (e *engine) scanDegrees(C bitset.Set) (cSize, minDeg int) {
+	t0 := e.now()
+	cSize, minDeg = 0, math.MaxInt
+	e.ensureCnt()
+	if ablateUnfusedKernels {
+		for i := C.First(); i >= 0; i = C.NextAfter(i) {
+			cSize++
+			cnt := e.adjG[i].AndCount(C)
+			e.cntBuf[i] = int32(cnt)
+			if cnt < minDeg {
+				minDeg = cnt
+			}
+		}
+		e.addPivot(t0)
+		return cSize, minDeg
+	}
+	adj := e.adjG
+	cnt := e.cntBuf
+	for wi, w := range C {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			c := adj[i].AndCount(C)
+			cnt[i] = int32(c)
+			cSize++
+			if c < minDeg {
+				minDeg = c
+			}
+		}
+	}
+	e.addPivot(t0)
+	return cSize, minDeg
 }
 
 // plainRec is the original Bron–Kerbosch recursion without pivoting,
@@ -358,32 +610,28 @@ func (e *engine) plainRec(adjH []bitset.Set, C, X bitset.Set) {
 		return
 	}
 	if e.opts.ET > 0 {
-		cSize, minDeg := 0, int(^uint(0)>>1)
-		e.ensureCnt()
-		for i := C.First(); i >= 0; i = C.NextAfter(i) {
-			cSize++
-			cnt := e.adjG[i].AndCount(C)
-			e.cntBuf[i] = int32(cnt)
-			if cnt < minDeg {
-				minDeg = cnt
-			}
-		}
+		cSize, minDeg := e.scanDegrees(C)
 		if e.tryEarlyTerminate(adjH, C, X, cSize, minDeg) {
 			return
 		}
 	}
 	mark := e.setArena.Mark()
-	childC := e.setArena.Get()
-	childX := e.setArena.Get()
-	tmp := e.setArena.Get()
-	snapshot := C.Clone()
-	for v := snapshot.First(); v >= 0; v = snapshot.NextAfter(v) {
-		e.deriveChild(adjH, C, X, v, childC, childX, tmp)
-		e.S = append(e.S, e.verts[v])
-		e.plainRec(adjH, childC, childX)
-		e.S = e.S[:len(e.S)-1]
-		C.Unset(v)
-		X.Set(v)
+	childC := e.setArena.GetUnzeroed()
+	childX := e.setArena.GetUnzeroed()
+	tmp := e.setArena.GetUnzeroed()
+	snapshot := e.setArena.GetUnzeroed()
+	snapshot.CopyFrom(C)
+	for wi, w := range snapshot {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			v := base + bits.TrailingZeros64(w)
+			e.deriveChild(adjH, C, X, v, childC, childX, tmp)
+			e.S = append(e.S, e.verts[v])
+			e.plainRec(adjH, childC, childX)
+			e.S = e.S[:len(e.S)-1]
+			C.Unset(v)
+			X.Set(v)
+		}
 	}
 	e.setArena.Release(mark)
 }
