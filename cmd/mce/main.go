@@ -37,7 +37,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
@@ -53,43 +52,18 @@ const (
 	exitDeadline = 4
 )
 
-var algorithms = map[string]hbbmc.Algorithm{
-	"bk":       hbbmc.BK,
-	"bkpivot":  hbbmc.BKPivot,
-	"bkref":    hbbmc.BKRef,
-	"bkdegen":  hbbmc.BKDegen,
-	"bkdegree": hbbmc.BKDegree,
-	"bkrcd":    hbbmc.BKRcd,
-	"bkfac":    hbbmc.BKFac,
-	"ebbmc":    hbbmc.EBBMC,
-	"hbbmc":    hbbmc.HBBMC,
-}
-
-var inners = map[string]hbbmc.InnerAlgorithm{
-	"pivot": hbbmc.InnerPivot,
-	"ref":   hbbmc.InnerRef,
-	"rcd":   hbbmc.InnerRcd,
-	"fac":   hbbmc.InnerFac,
-}
-
-var edgeOrders = map[string]hbbmc.EdgeOrderKind{
-	"truss":      hbbmc.EdgeOrderTruss,
-	"degeneracy": hbbmc.EdgeOrderDegeneracy,
-	"mindegree":  hbbmc.EdgeOrderMinDegree,
-}
-
 func main() {
 	var (
 		in         = flag.String("in", "", "input graph file (required)")
 		format     = flag.String("format", "auto", "input format: auto|edgelist|dimacs|mtx|metis|hbg")
 		save       = flag.String("save", "", "write the parsed graph as a binary .hbg snapshot to this file")
 		cache      = flag.Bool("cache", false, "maintain a <input>.hbg sidecar snapshot and load it when fresh")
-		algo       = flag.String("algo", "hbbmc", "algorithm: "+keys(algorithms))
+		algo       = flag.String("algo", "hbbmc", "algorithm: "+hbbmc.AlgorithmChoices())
 		et         = flag.Int("et", 3, "early-termination t-plex threshold (0 disables)")
 		gr         = flag.Bool("gr", true, "apply graph reduction")
 		depth      = flag.Int("d", 1, "hybrid switch depth (HBBMC only)")
-		edgeOrder  = flag.String("edgeorder", "truss", "edge ordering: "+keys(edgeOrders))
-		inner      = flag.String("inner", "pivot", "hybrid inner recursion: "+keys(inners))
+		edgeOrder  = flag.String("edgeorder", "truss", "edge ordering: "+hbbmc.EdgeOrderChoices())
+		inner      = flag.String("inner", "pivot", "hybrid inner recursion: "+hbbmc.InnerChoices())
 		out        = flag.String("out", "", "write cliques to this file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress clique output, print statistics only")
 		profile    = flag.Bool("profile", false, "print the graph's structural profile (δ, τ, ρ, h)")
@@ -126,7 +100,16 @@ func main() {
 		fatal(err)
 	}
 
-	var w *bufio.Writer
+	// Clique output goes through one buffered writer that is explicitly
+	// flushed (and the file closed) before every exit path, including the
+	// -maxcliques/-timeout early exits: os.Exit skips deferred flushes, so
+	// relying on defer would truncate buffered output mid-line on the
+	// exit-code-3/4 paths. closeOutput is idempotent; a flush or close
+	// failure is a real error (partial results on disk) and exits 1.
+	var (
+		w       *bufio.Writer
+		outFile *os.File
+	)
 	if !*quiet {
 		dst := os.Stdout
 		if *out != "" {
@@ -134,11 +117,26 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			defer f.Close()
+			outFile = f
 			dst = f
 		}
 		w = bufio.NewWriter(dst)
-		defer w.Flush()
+	}
+	closeOutput := func() {
+		if w != nil {
+			if err := w.Flush(); err != nil {
+				w, outFile = nil, nil
+				fatal(fmt.Errorf("flushing clique output: %w", err))
+			}
+			w = nil
+		}
+		if outFile != nil {
+			if err := outFile.Close(); err != nil {
+				outFile = nil
+				fatal(fmt.Errorf("closing %s: %w", *out, err))
+			}
+			outFile = nil
+		}
 	}
 
 	// Fold the flags into the session options: -workers 0 means all cores
@@ -179,6 +177,11 @@ func main() {
 		fmt.Fprintln(w)
 		return true
 	})
+	// The enumeration has returned: all clique output is written to the
+	// buffer. Flush and close it before reporting anything, so every exit
+	// path below — error (1), -maxcliques (3), -timeout (4) and success —
+	// leaves complete lines on disk.
+	closeOutput()
 	if code, _ := stopStatus(runErr); runErr != nil && code == 0 {
 		fatal(runErr) // a real failure, not a requested early stop
 	}
@@ -191,14 +194,13 @@ func main() {
 			stats.UniverseTime.Round(time.Microsecond), stats.PivotTime.Round(time.Microsecond),
 			stats.ETTime.Round(time.Microsecond), stats.EmitTime.Round(time.Microsecond),
 			stats.EnumTime.Round(time.Microsecond))
+		fmt.Fprintf(os.Stderr, "session: memory estimate %.2f MiB (CSR + orderings + triangle incidence)\n",
+			float64(sess.MemoryEstimate())/(1<<20))
 	}
 	if stats.ParallelFallback != "" {
 		fmt.Fprintf(os.Stderr, "mce: parallel run fell back to the sequential driver: %s\n", stats.ParallelFallback)
 	}
 	if code, reason := stopStatus(runErr); code != 0 {
-		if w != nil {
-			w.Flush()
-		}
 		fmt.Fprintf(os.Stderr, "mce: stopped by %s; results above are partial\n", reason)
 		os.Exit(code)
 	}
@@ -217,17 +219,17 @@ func stopStatus(runErr error) (int, string) {
 }
 
 func buildOptions(algo string, et int, gr bool, depth int, edgeOrder, inner string) (hbbmc.Options, error) {
-	a, ok := algorithms[strings.ToLower(algo)]
-	if !ok {
-		return hbbmc.Options{}, fmt.Errorf("unknown algorithm %q (choose from %s)", algo, keys(algorithms))
+	a, err := hbbmc.ParseAlgorithm(algo)
+	if err != nil {
+		return hbbmc.Options{}, err
 	}
-	eo, ok := edgeOrders[strings.ToLower(edgeOrder)]
-	if !ok {
-		return hbbmc.Options{}, fmt.Errorf("unknown edge order %q (choose from %s)", edgeOrder, keys(edgeOrders))
+	eo, err := hbbmc.ParseEdgeOrder(edgeOrder)
+	if err != nil {
+		return hbbmc.Options{}, err
 	}
-	in, ok := inners[strings.ToLower(inner)]
-	if !ok {
-		return hbbmc.Options{}, fmt.Errorf("unknown inner recursion %q (choose from %s)", inner, keys(inners))
+	in, err := hbbmc.ParseInnerAlgorithm(inner)
+	if err != nil {
+		return hbbmc.Options{}, err
 	}
 	return hbbmc.Options{
 		Algorithm:   a,
@@ -253,19 +255,6 @@ func load(path, format string, cache bool) (*hbbmc.Graph, error) {
 		return g, err
 	}
 	return hbbmc.LoadFile(path, opts)
-}
-
-func keys[V any](m map[string]V) string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	for i := 1; i < len(ks); i++ {
-		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
-			ks[j], ks[j-1] = ks[j-1], ks[j]
-		}
-	}
-	return strings.Join(ks, "|")
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	hbbmc "github.com/graphmining/hbbmc"
@@ -119,9 +120,15 @@ func TestLoadFormats(t *testing.T) {
 	}
 }
 
-func TestKeysSorted(t *testing.T) {
-	got := keys(map[string]int{"c": 1, "a": 2, "b": 3})
-	if got != "a|b|c" {
-		t.Fatalf("keys = %q", got)
+func TestAlgorithmChoicesSorted(t *testing.T) {
+	got := hbbmc.AlgorithmChoices()
+	if !strings.HasPrefix(got, "bk|") || !strings.Contains(got, "hbbmc") {
+		t.Fatalf("AlgorithmChoices = %q", got)
+	}
+	parts := strings.Split(got, "|")
+	for i := 1; i < len(parts); i++ {
+		if parts[i-1] >= parts[i] {
+			t.Fatalf("choices not sorted: %q", got)
+		}
 	}
 }

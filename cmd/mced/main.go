@@ -1,0 +1,154 @@
+// Command mced is the resident maximal-clique enumeration daemon: it keeps
+// registered graphs and their preprocessed Sessions warm in memory and
+// serves enumeration/count jobs over an HTTP JSON API, so the per-query
+// cost drops from parse+preprocess to pure enumeration.
+//
+// Usage:
+//
+//	mced [-addr 127.0.0.1:8399] [-portfile path]
+//	     [-dataset name=path ...] [-slots N] [-queue-wait 2s] [-queue-len N]
+//	     [-session-budget 1GiB] [-stream-buffer 1024] [-job-history 256]
+//
+// Start the daemon, register a dataset and stream a job:
+//
+//	mced -addr 127.0.0.1:8399 &
+//	curl -s localhost:8399/v1/datasets -d '{"name":"web","path":"web.txt"}'
+//	curl -s localhost:8399/v1/jobs -d '{"dataset":"web","workers":4}'   # -> {"id":"j000001",...}
+//	curl -sN localhost:8399/v1/jobs/j000001/cliques                     # NDJSON stream
+//
+// -dataset registers graphs at boot (repeatable; format auto-detected).
+// -slots caps the total enumeration worker goroutines across all concurrent
+// jobs (default GOMAXPROCS); requests that cannot be admitted within
+// -queue-wait receive HTTP 429. -session-budget bounds the warm-session
+// cache (accepts plain bytes or KiB/MiB/GiB suffixes); least recently used
+// sessions are evicted beyond it. -portfile writes the bound "host:port" —
+// with -addr :0 this is how scripts find the listener. SIGINT/SIGTERM shut
+// down gracefully: running jobs are cancelled and their partial statistics
+// persisted before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+func (d *datasetFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, v)
+	return nil
+}
+
+// parseBytes accepts "1073741824", "512MiB", "1GiB", "64KiB".
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	var datasets datasetFlags
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8399", "listen address (use :0 for a random port with -portfile)")
+		portFile     = flag.String("portfile", "", "write the bound host:port to this file once listening")
+		slots        = flag.Int("slots", 0, "global worker-slot budget shared by all jobs (0 = GOMAXPROCS)")
+		queueWait    = flag.Duration("queue-wait", 2*time.Second, "admission wait before a saturated request gets 429")
+		queueLen     = flag.Int("queue-len", 0, "admission queue length before immediate 429 (0 = 4×slots)")
+		budget       = flag.String("session-budget", "1GiB", "LRU byte budget for warm sessions (plain bytes or KiB/MiB/GiB)")
+		streamBuffer = flag.Int("stream-buffer", 0, "default per-job clique channel capacity (0 = 1024)")
+		jobHistory   = flag.Int("job-history", 0, "terminal jobs retained for status queries (0 = 256)")
+		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown bound for cancelling running jobs")
+	)
+	flag.Var(&datasets, "dataset", "register a dataset at boot as name=path (repeatable)")
+	flag.Parse()
+
+	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	srv := service.New(service.Config{
+		WorkerSlots:   *slots,
+		QueueWait:     *queueWait,
+		MaxQueue:      *queueLen,
+		SessionBudget: budgetBytes,
+		StreamBuffer:  *streamBuffer,
+		MaxJobHistory: *jobHistory,
+	})
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		info, err := srv.Registry().Register(name, path, "auto")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mced: registered dataset %q from %s\n", info.Name, info.Path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mced: listening on http://%s\n", bound)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mced: %v, shutting down\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Cancel running jobs first — that unblocks any in-flight streaming
+	// handlers (their channels close) — then drain the HTTP server.
+	jobErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mced: http shutdown:", err)
+	}
+	if jobErr != nil {
+		fmt.Fprintln(os.Stderr, "mced: job shutdown:", jobErr)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mced:", err)
+	os.Exit(1)
+}

@@ -31,8 +31,21 @@
 // Visitor), Session.Count, Session.Collect, the Session.Cliques range
 // iterator, and Session.EnumerateParallel. Sessions are immutable and safe
 // for concurrent queries, which makes them the natural unit for a service
-// answering many clique queries over the same graph. Query Stats report
-// zero OrderingTime; the cached cost is Session.PrepTime.
+// answering many clique queries over the same graph — and the repository
+// ships that service: the mced daemon (cmd/mced, built on internal/service)
+// keeps a registry of warm sessions under an LRU byte budget
+// (Session.MemoryEstimate) and serves enumeration jobs over an HTTP JSON
+// API with NDJSON clique streaming and worker-slot admission control. See
+// the README's "Serving" section for the curl walkthrough. Query Stats
+// report zero OrderingTime; the cached cost is Session.PrepTime.
+//
+// Per-request variation on a shared session goes through QueryOptions:
+// Session.EnumerateWith and Session.CountWith override the run knobs
+// (worker count, MaxCliques budget, emit batching, phase timers) for one
+// query without rebuilding — or fragmenting the cache of — the
+// preprocessing. Options.SessionKey canonicalises the session-defining
+// fields for exactly this purpose: two Options with equal keys can share
+// one Session.
 //
 // # Cancellation and early stops
 //
@@ -160,6 +173,8 @@
 // The root package is a thin facade over the internal engine:
 //
 //   - internal/core — the branch-and-bound engines, sessions, ET/GR
+//   - internal/service — the mced daemon: dataset registry, streaming
+//     jobs, admission control
 //   - internal/graph — immutable CSR graphs and loaders
 //   - internal/order, internal/truss — degeneracy and truss orderings
 //   - internal/plex — direct enumeration from 2-/3-plex candidate graphs
@@ -167,8 +182,9 @@
 //   - internal/gen — synthetic graph generators (ER, BA, SBM, ...)
 //   - internal/kclique — EBBkC k-clique listing, the paper's substrate [19]
 //
-// The cmd/ directory ships four tools: mce (enumerate, with -timeout and
-// -maxcliques bounds), mcegen (generate workloads), mcebench (reproduce the
-// paper's tables and figures, optionally as JSON lines) and mceverify
-// (audit a clique file against its graph).
+// The cmd/ directory ships five tools: mce (enumerate, with -timeout and
+// -maxcliques bounds), mced (the resident enumeration daemon), mcegen
+// (generate workloads), mcebench (reproduce the paper's tables and
+// figures, optionally as JSON lines) and mceverify (audit a clique file
+// against its graph).
 package hbbmc

@@ -139,6 +139,29 @@ const (
 // hybrid branching, early termination at t=3, graph reduction.
 func DefaultOptions() Options { return core.Defaults() }
 
+// ParseAlgorithm maps a case-insensitive flag spelling ("hbbmc",
+// "bkdegen", ...) to an Algorithm; AlgorithmChoices lists the accepted
+// spellings for usage strings.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// ParseInnerAlgorithm maps a flag spelling ("pivot", "rcd", ...) to an
+// InnerAlgorithm.
+func ParseInnerAlgorithm(s string) (InnerAlgorithm, error) { return core.ParseInnerAlgorithm(s) }
+
+// ParseEdgeOrder maps a flag spelling ("truss", "degeneracy", "mindegree")
+// to an EdgeOrderKind.
+func ParseEdgeOrder(s string) (EdgeOrderKind, error) { return core.ParseEdgeOrder(s) }
+
+// AlgorithmChoices, InnerChoices and EdgeOrderChoices return the accepted
+// parse spellings as "a|b|c" lists for flag usage strings.
+func AlgorithmChoices() string { return core.AlgorithmChoices() }
+
+// InnerChoices returns the accepted ParseInnerAlgorithm spellings.
+func InnerChoices() string { return core.InnerChoices() }
+
+// EdgeOrderChoices returns the accepted ParseEdgeOrder spellings.
+func EdgeOrderChoices() string { return core.EdgeOrderChoices() }
+
 // Enumerate runs the configured algorithm and invokes emit once per maximal
 // clique. The slice passed to emit is reused between calls; copy it if you
 // retain it. emit may be nil to only collect statistics.

@@ -1,0 +1,100 @@
+package benchharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// BenchmarkServiceOverhead tracks the cost the HTTP service layer adds on
+// top of a warm in-process Session.Count: job creation, admission, the run
+// goroutine, the long-poll status fetch, and JSON both ways. The graph is
+// small on purpose — the absolute gap between the two sub-benchmarks IS the
+// per-job overhead; on production-sized graphs it amortises into noise, and
+// a regression here flags service-layer bloat long before it would show up
+// in end-to-end numbers.
+func BenchmarkServiceOverhead(b *testing.B) {
+	g := hbbmc.GenerateER(500, 3000, 42)
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, _, err := sess.Count(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("inprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, _, err := sess.Count(context.Background())
+			if err != nil || n != want {
+				b.Fatalf("count = %d (err %v), want %d", n, err, want)
+			}
+		}
+	})
+
+	b.Run("http", func(b *testing.B) {
+		srv := service.New(service.Config{})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		path := filepath.Join(b.TempDir(), "bench.hbg")
+		if err := g.SaveBinaryFile(path); err != nil {
+			b.Fatal(err)
+		}
+		reg, _ := json.Marshal(map[string]string{"name": "bench", "path": path})
+		resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(reg))
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			b.Fatalf("register: %v %v", err, resp.Status)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+
+		jobBody, _ := json.Marshal(map[string]any{"dataset": "bench", "mode": "count"})
+		runOne := func() {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(jobBody))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("job: %s %s", resp.Status, data)
+			}
+			var v service.JobView
+			if err := json.Unmarshal(data, &v); err != nil {
+				b.Fatal(err)
+			}
+			for v.State != service.StateDone {
+				if v.State == service.StateFailed || v.State == service.StateStopped {
+					b.Fatalf("job ended %s: %s", v.State, v.Error)
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=5s", ts.URL, v.ID))
+				if err != nil {
+					b.Fatal(err)
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := json.Unmarshal(data, &v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if v.Stats == nil || v.Stats.Cliques != want {
+				b.Fatalf("http count = %+v, want %d cliques", v.Stats, want)
+			}
+		}
+		runOne() // warm the session cache outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOne()
+		}
+	})
+}

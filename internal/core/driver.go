@@ -30,7 +30,9 @@ func Enumerate(g *graph.Graph, opts Options, emit func([]int32)) (*Stats, error)
 	if err != nil {
 		return nil, err
 	}
-	stats, err := s.enumerate(context.Background(), 1, adaptEmit(emit))
+	seqOpts := s.opts
+	seqOpts.Workers = 1
+	stats, err := s.enumerate(context.Background(), seqOpts, adaptEmit(emit))
 	stats.OrderingTime = s.prepTime
 	return stats, err
 }

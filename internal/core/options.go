@@ -10,7 +10,11 @@
 // for the masked-adjacency treatment of edge-oriented branches.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Algorithm selects the enumeration framework.
 type Algorithm int
@@ -64,6 +68,79 @@ func (a Algorithm) String() string {
 		return s
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Flag spellings shared by every front end (cmd/mce flags, the service's
+// JSON job options): lower-case, no underscores.
+var (
+	algorithmFlags = map[string]Algorithm{
+		"bk":       BK,
+		"bkpivot":  BKPivot,
+		"bkref":    BKRef,
+		"bkdegen":  BKDegen,
+		"bkdegree": BKDegree,
+		"bkrcd":    BKRcd,
+		"bkfac":    BKFac,
+		"ebbmc":    EBBMC,
+		"hbbmc":    HBBMC,
+	}
+	innerFlags = map[string]InnerAlgorithm{
+		"pivot": InnerPivot,
+		"ref":   InnerRef,
+		"rcd":   InnerRcd,
+		"fac":   InnerFac,
+	}
+	edgeOrderFlags = map[string]EdgeOrderKind{
+		"truss":      EdgeOrderTruss,
+		"degeneracy": EdgeOrderDegeneracy,
+		"mindegree":  EdgeOrderMinDegree,
+	}
+)
+
+func sortedKeys[V any](m map[string]V) string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "|")
+}
+
+// AlgorithmChoices returns the accepted ParseAlgorithm spellings as a
+// "a|b|c" list for flag usage strings.
+func AlgorithmChoices() string { return sortedKeys(algorithmFlags) }
+
+// InnerChoices returns the accepted ParseInnerAlgorithm spellings.
+func InnerChoices() string { return sortedKeys(innerFlags) }
+
+// EdgeOrderChoices returns the accepted ParseEdgeOrder spellings.
+func EdgeOrderChoices() string { return sortedKeys(edgeOrderFlags) }
+
+// ParseAlgorithm maps a case-insensitive flag spelling ("hbbmc", "bkdegen",
+// ...) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	if a, ok := algorithmFlags[strings.ToLower(s)]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (choose from %s)", s, AlgorithmChoices())
+}
+
+// ParseInnerAlgorithm maps a case-insensitive flag spelling ("pivot",
+// "rcd", ...) to an InnerAlgorithm.
+func ParseInnerAlgorithm(s string) (InnerAlgorithm, error) {
+	if a, ok := innerFlags[strings.ToLower(s)]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("core: unknown inner recursion %q (choose from %s)", s, InnerChoices())
+}
+
+// ParseEdgeOrder maps a case-insensitive flag spelling ("truss",
+// "degeneracy", "mindegree") to an EdgeOrderKind.
+func ParseEdgeOrder(s string) (EdgeOrderKind, error) {
+	if k, ok := edgeOrderFlags[strings.ToLower(s)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("core: unknown edge order %q (choose from %s)", s, EdgeOrderChoices())
 }
 
 // InnerAlgorithm selects the vertex-oriented recursion used inside hybrid
@@ -244,4 +321,22 @@ func (o Options) normalized() (Options, error) {
 		return o, fmt.Errorf("core: unknown edge order %d", int(o.EdgeOrder))
 	}
 	return o, nil
+}
+
+// SessionKey returns a canonical string over the fields that determine a
+// Session's cached preprocessing and recursion behavior: the algorithm, the
+// ET threshold, the reduction settings, the hybrid switch depth, the edge
+// ordering, the inner recursion and the whole-graph guard. Two Options with
+// equal SessionKeys can share one Session; the per-run knobs (Workers,
+// MaxCliques, EmitBatchSize, ParallelChunkSize, PhaseTimers) are excluded —
+// they vary per query through QueryOptions. The key is computed on the
+// normalized options, so default spellings (SwitchDepth 0 vs 1) collide as
+// they should; invalid options yield a key that simply never matches a
+// buildable session.
+func (o Options) SessionKey() string {
+	if n, err := o.normalized(); err == nil {
+		o = n
+	}
+	return fmt.Sprintf("algo=%s,et=%d,gr=%t,grmax=%d,d=%d,eo=%s,inner=%s,maxwhole=%d",
+		o.Algorithm, o.ET, o.GR, o.GRMaxDegree, o.SwitchDepth, o.EdgeOrder, o.Inner, o.MaxWholeGraphVertices)
 }

@@ -47,7 +47,9 @@ func EnumerateParallel(g *graph.Graph, opts Options, workers int, emit func([]in
 	if err != nil {
 		return nil, err
 	}
-	stats, err := s.enumerate(context.Background(), workers, adaptEmit(emit))
+	parOpts := s.opts
+	parOpts.Workers = workers
+	stats, err := s.enumerate(context.Background(), parOpts, adaptEmit(emit))
 	stats.OrderingTime = s.prepTime
 	if workers == 1 && stats.ParallelFallback == "" {
 		// An explicit workers=1 request through this parallel entry point is

@@ -45,8 +45,11 @@ type Session struct {
 	// Parallel branch schedule: top-level ordering positions sorted by
 	// descending estimated cost, built lazily on the first parallel query
 	// and shared by all of them (a Session is immutable otherwise).
-	scheduleOnce sync.Once
-	schedule     []int32
+	// scheduleBytes mirrors the schedule's size for MemoryEstimate, which
+	// must not race the lazy build by touching the slice itself.
+	scheduleOnce  sync.Once
+	schedule      []int32
+	scheduleBytes atomic.Int64
 
 	delta, tau, hIndex int
 	prepTime           time.Duration
@@ -99,6 +102,7 @@ func (s *Session) branchSchedule() []int32 {
 			return int(a - b) // deterministic tie-break
 		})
 		s.schedule = perm
+		s.scheduleBytes.Store(int64(len(perm)) * 4)
 	})
 	return s.schedule
 }
@@ -159,6 +163,109 @@ func (s *Session) Options() Options { return s.opts }
 // ordering construction), paid once in NewSession.
 func (s *Session) PrepTime() time.Duration { return s.prepTime }
 
+// MemoryEstimate returns the number of bytes retained by the session's
+// cached artifacts: the residual CSR graph, the reduction mapping and
+// emitted cliques, the vertex or edge ordering, the triangle incidence of
+// the edge-oriented frameworks and the lazily built parallel branch
+// schedule. Cache budgets (the service registry's LRU) evict on this
+// estimate; it tracks the dominant slice payloads and ignores struct
+// overheads.
+func (s *Session) MemoryEstimate() int64 {
+	b := s.res.MemoryFootprint()
+	b += s.red.MemoryFootprint()
+	b += int64(len(s.vertOrd)+len(s.vertPos)) * 4
+	b += int64(len(s.eo.Rank)+len(s.eo.Order)) * 4
+	if s.inc != nil {
+		b += s.inc.MemoryFootprint()
+	}
+	b += s.scheduleBytes.Load()
+	return b
+}
+
+// NoCliqueLimit is the QueryOptions.MaxCliques value that removes a clique
+// budget configured in the session's Options for one query (a zero field
+// inherits the session's budget instead).
+const NoCliqueLimit int64 = -1
+
+// QueryOptions override, for a single query, the per-run knobs of a
+// Session's Options without rebuilding the cached preprocessing. The zero
+// value inherits every session setting. The algorithm-defining fields
+// (Algorithm, ET, GR, SwitchDepth, EdgeOrder, Inner) are fixed at
+// NewSession and cannot be overridden per query — they determine the cached
+// orderings.
+type QueryOptions struct {
+	// Workers overrides Options.Workers when non-zero (UseAllCores = one
+	// worker per core; values above GOMAXPROCS are clamped).
+	Workers int
+	// MaxCliques overrides Options.MaxCliques when non-zero; NoCliqueLimit
+	// removes a session-level budget for this query.
+	MaxCliques int64
+	// EmitBatchSize overrides Options.EmitBatchSize when non-zero.
+	EmitBatchSize int
+	// ParallelChunkSize overrides Options.ParallelChunkSize when non-zero.
+	ParallelChunkSize int
+	// PhaseTimers enables per-phase timers for this query. It cannot turn
+	// off timers enabled in the session's Options.
+	PhaseTimers bool
+}
+
+// apply folds the overrides into the session's normalized options and
+// re-validates the overridden fields.
+func (q QueryOptions) apply(base Options) (Options, error) {
+	o := base
+	if q.Workers != 0 {
+		if q.Workers < UseAllCores {
+			return o, fmt.Errorf("core: invalid QueryOptions.Workers %d (use UseAllCores for all cores)", q.Workers)
+		}
+		o.Workers = q.Workers
+	}
+	switch {
+	case q.MaxCliques == NoCliqueLimit:
+		o.MaxCliques = 0
+	case q.MaxCliques < NoCliqueLimit:
+		return o, fmt.Errorf("core: invalid QueryOptions.MaxCliques %d", q.MaxCliques)
+	case q.MaxCliques > 0:
+		o.MaxCliques = q.MaxCliques
+	}
+	if q.EmitBatchSize < 0 {
+		return o, fmt.Errorf("core: negative QueryOptions.EmitBatchSize %d", q.EmitBatchSize)
+	}
+	if q.EmitBatchSize > 0 {
+		o.EmitBatchSize = q.EmitBatchSize
+	}
+	if q.ParallelChunkSize < 0 {
+		return o, fmt.Errorf("core: negative QueryOptions.ParallelChunkSize %d", q.ParallelChunkSize)
+	}
+	if q.ParallelChunkSize > 0 {
+		o.ParallelChunkSize = q.ParallelChunkSize
+	}
+	if q.PhaseTimers {
+		o.PhaseTimers = true
+	}
+	return o, nil
+}
+
+// EnumerateWith is Enumerate with per-query overrides of the run knobs
+// (worker count, clique budget, emit batching, phase timers). It is the
+// query entry point for services that share one cached Session across
+// requests with different per-request limits.
+func (s *Session) EnumerateWith(ctx context.Context, q QueryOptions, visit Visitor) (*Stats, error) {
+	opts, err := q.apply(s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.enumerate(ctx, opts, visit)
+}
+
+// CountWith is Count with per-query overrides; see EnumerateWith.
+func (s *Session) CountWith(ctx context.Context, q QueryOptions) (int64, *Stats, error) {
+	stats, err := s.EnumerateWith(ctx, q, nil)
+	if err != nil && stats == nil {
+		return 0, nil, err
+	}
+	return stats.Cliques, stats, err
+}
+
 // Enumerate runs one query, invoking visit once per maximal clique (visit
 // may be nil to only collect statistics). Options.Workers selects the
 // driver: 0 or 1 sequential, n > 1 parallel over up to n goroutines,
@@ -170,16 +277,18 @@ func (s *Session) PrepTime() time.Duration { return s.prepTime }
 // returning false, or Options.MaxCliques being reached, stops the run the
 // same way with ErrStopped.
 func (s *Session) Enumerate(ctx context.Context, visit Visitor) (*Stats, error) {
-	return s.enumerate(ctx, s.opts.Workers, visit)
+	return s.enumerate(ctx, s.opts, visit)
 }
 
 // EnumerateParallel is Enumerate with an explicit worker count overriding
 // Options.Workers (0 = all cores, clamped to GOMAXPROCS).
 func (s *Session) EnumerateParallel(ctx context.Context, workers int, visit Visitor) (*Stats, error) {
+	opts := s.opts
 	if workers <= 0 {
 		workers = UseAllCores
 	}
-	return s.enumerate(ctx, workers, visit)
+	opts.Workers = workers
+	return s.enumerate(ctx, opts, visit)
 }
 
 // Count runs one query and returns the number of maximal cliques without
@@ -233,28 +342,32 @@ func resolveWorkers(w int) int {
 }
 
 // enumerate dispatches one query to the sequential or parallel driver.
-// requested is the raw Workers-style value; resolving it here (rather than
-// in the callers) lets a parallel request that clamps down to one worker
-// still record its fallback reason in Stats.ParallelFallback.
-func (s *Session) enumerate(ctx context.Context, requested int, visit Visitor) (*Stats, error) {
+// opts is the effective per-query option set: the session's normalized
+// options, possibly with the run knobs overridden by QueryOptions. The
+// algorithm-defining fields always equal the session's, so the cached
+// orderings stay valid. Resolving opts.Workers here (rather than in the
+// callers) lets a parallel request that clamps down to one worker still
+// record its fallback reason in Stats.ParallelFallback.
+func (s *Session) enumerate(ctx context.Context, opts Options, visit Visitor) (*Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rc := newRunControl(ctx, s.opts)
+	rc := newRunControl(ctx, opts)
+	requested := opts.Workers
 	workers := resolveWorkers(requested)
 	var stats *Stats
 	switch {
 	case workers <= 1:
-		stats = s.runSequential(rc, visit)
+		stats = s.runSequential(rc, opts, visit)
 		if requested > 1 || requested == UseAllCores {
 			stats.ParallelFallback = "single worker"
 		}
 	default:
-		if reason := sequentialFallback(s.opts, workers); reason != "" {
-			stats = s.runSequential(rc, visit)
+		if reason := sequentialFallback(opts, workers); reason != "" {
+			stats = s.runSequential(rc, opts, visit)
 			stats.ParallelFallback = reason
 		} else {
-			stats = s.runParallel(rc, workers, visit)
+			stats = s.runParallel(rc, opts, workers, visit)
 		}
 	}
 	return stats, rc.err()
@@ -299,15 +412,15 @@ func emitReduced(rc *runControl, stats *Stats, cliques [][]int32, visit Visitor)
 }
 
 // runSequential executes one query on a single goroutine.
-func (s *Session) runSequential(rc *runControl, visit Visitor) *Stats {
+func (s *Session) runSequential(rc *runControl, opts Options, visit Visitor) *Stats {
 	stats := s.baseStats(1)
 	enum := time.Now()
 	emitReduced(rc, stats, s.red.Cliques, visit)
 	if !rc.halted() {
-		e := newEngine(s.res, s.red, s.opts, stats, visit, rc)
-		configureEngine(e, s.opts)
+		e := newEngine(s.res, s.red, opts, stats, visit, rc)
+		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
-		switch s.opts.Algorithm {
+		switch opts.Algorithm {
 		case BK, BKPivot:
 			e.runWholeGraph()
 		case BKRef, BKDegen, BKRcd, BKFac, BKDegree:
@@ -325,7 +438,7 @@ func (s *Session) runSequential(rc *runControl, visit Visitor) *Stats {
 // cancellation and early stops at top-branch granularity, so the call
 // returns within one branch granule of the signal with all goroutines
 // joined.
-func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats {
+func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit Visitor) *Stats {
 	stats := s.baseStats(workers)
 	enum := time.Now()
 	emitReduced(rc, stats, s.red.Cliques, visit)
@@ -334,7 +447,7 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 		return stats
 	}
 
-	edgeDriven := s.opts.Algorithm == EBBMC || s.opts.Algorithm == HBBMC
+	edgeDriven := opts.Algorithm == EBBMC || opts.Algorithm == HBBMC
 	items := len(s.vertOrd)
 	if edgeDriven {
 		items = len(s.eo.Order)
@@ -343,8 +456,8 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 	if !ablateStaticStride {
 		sched = s.branchSchedule()
 	}
-	queue := newWorkQueue(items, workers, s.opts.ParallelChunkSize)
-	queue.rampUp = sched != nil && s.opts.ParallelChunkSize <= 0
+	queue := newWorkQueue(items, workers, opts.ParallelChunkSize)
+	queue.rampUp = sched != nil && opts.ParallelChunkSize <= 0
 	sink := &emitSink{visit: visit, rc: rc}
 
 	workerStats := make([]*Stats, workers)
@@ -359,12 +472,12 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 				// Seed behavior under ablation: one lock round-trip per clique.
 				workerEmit = sink.emitLocked
 			} else {
-				batcher = newEmitBatcher(sink, s.opts.EmitBatchSize)
+				batcher = newEmitBatcher(sink, opts.EmitBatchSize)
 				workerEmit = batcher.add
 			}
 		}
-		e := newEngine(s.res, s.red, s.opts, ws, workerEmit, rc)
-		configureEngine(e, s.opts)
+		e := newEngine(s.res, s.red, opts, ws, workerEmit, rc)
+		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
 		offset := w
 		wg.Add(1)
@@ -399,8 +512,8 @@ func (s *Session) runParallel(rc *runControl, workers int, visit Visitor) *Stats
 	// outside the workers; with the workers joined, the sink lock is
 	// uncontended.
 	if edgeDriven && !rc.halted() {
-		e := newEngine(s.res, s.red, s.opts, stats, sink.direct(), rc)
-		configureEngine(e, s.opts)
+		e := newEngine(s.res, s.red, opts, stats, sink.direct(), rc)
+		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
 		e.runIsolatedVertices()
 	}

@@ -139,6 +139,15 @@ func (g *Graph) Equal(h *Graph) bool {
 		slices.Equal(g.dsts, h.dsts)
 }
 
+// MemoryFootprint returns the number of bytes held by the CSR arrays:
+// offsets, adjacency, edge ids and the edge endpoint tables. It is the
+// retained-size estimate used by cache budgets (slice headers and the
+// struct itself are negligible and excluded).
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.offsets))*8 +
+		int64(len(g.adj)+len(g.eids)+len(g.srcs)+len(g.dsts))*4
+}
+
 // Validate checks internal invariants (sorted unique adjacency, symmetric
 // edges, consistent edge ids). It exists for tests and loaders.
 func (g *Graph) Validate() error {

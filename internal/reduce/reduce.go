@@ -250,6 +250,23 @@ func (r *Result) HasRemovedDominator(K []int32) bool {
 	return false
 }
 
+// MemoryFootprint returns the number of bytes retained by the reduction
+// artifacts beyond the residual graph itself: the id mapping, the emitted
+// cliques and the removed-neighbor lists. The residual graph is excluded so
+// callers can combine this with Graph.MemoryFootprint without double
+// counting.
+func (r *Result) MemoryFootprint() int64 {
+	b := int64(len(r.OrigID)) * 4
+	for _, c := range r.Cliques {
+		b += int64(len(c))*4 + 24 // data + slice header
+	}
+	b += int64(len(r.removedNbrs)) * 24
+	for _, nb := range r.removedNbrs {
+		b += int64(len(nb)) * 4
+	}
+	return b
+}
+
 func containsSorted(xs []int32, x int32) bool {
 	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
 	return i < len(xs) && xs[i] == x

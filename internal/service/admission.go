@@ -1,0 +1,126 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by slotSem.Acquire when the request cannot be
+// admitted: the admission queue is full, or the queue wait expired before
+// enough worker slots freed up. The HTTP layer maps it to 429.
+var ErrSaturated = errors.New("service: worker slots saturated")
+
+// slotSem is a FIFO weighted semaphore over the server's global worker
+// slots. Every job acquires as many slots as the worker goroutines its
+// query will run, so N concurrent jobs can never oversubscribe the machine
+// the way N independent GOMAXPROCS-wide queries would. Admission is strictly
+// FIFO — a small request does not jump a large one at the head of the queue,
+// so wide jobs cannot starve.
+type slotSem struct {
+	mu       sync.Mutex
+	cap      int        // total slots
+	avail    int        // currently free slots
+	queue    *list.List // of *slotWaiter, FIFO
+	maxQueue int        // waiters beyond this are rejected immediately
+}
+
+type slotWaiter struct {
+	n     int
+	ready chan struct{} // closed on grant
+}
+
+func newSlotSem(capacity, maxQueue int) *slotSem {
+	return &slotSem{cap: capacity, avail: capacity, queue: list.New(), maxQueue: maxQueue}
+}
+
+// Capacity returns the total number of worker slots.
+func (s *slotSem) Capacity() int { return s.cap }
+
+// InUse returns the number of slots currently held.
+func (s *slotSem) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap - s.avail
+}
+
+// Queued returns the number of requests waiting for slots.
+func (s *slotSem) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// Acquire claims n slots (clamped to the capacity), queueing FIFO behind
+// earlier requests while the slots are busy. It returns nil once the slots
+// are held, and ErrSaturated when the queue is full on arrival or ctx
+// expires first; the caller's ctx deadline is the admission wait.
+func (s *slotSem) Acquire(ctx context.Context, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	if s.queue.Len() == 0 && s.avail >= n {
+		s.avail -= n
+		s.mu.Unlock()
+		return nil
+	}
+	if s.queue.Len() >= s.maxQueue {
+		s.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &slotWaiter{n: n, ready: make(chan struct{})}
+	elem := s.queue.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the timeout: keep the slots; the
+			// caller observes success.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		s.queue.Remove(elem)
+		// Removing a wide waiter from the head may unblock narrower ones
+		// behind it.
+		s.grantLocked()
+		s.mu.Unlock()
+		return ErrSaturated
+	}
+}
+
+// Release returns n slots and hands them to queued waiters in FIFO order.
+// n must match a prior Acquire's effective (clamped) count.
+func (s *slotSem) Release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	if s.avail > s.cap {
+		s.avail = s.cap
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked satisfies queued waiters from the front while slots last.
+// Strict FIFO: the head waiter blocks everyone behind it until it fits.
+func (s *slotSem) grantLocked() {
+	for e := s.queue.Front(); e != nil; e = s.queue.Front() {
+		w := e.Value.(*slotWaiter)
+		if s.avail < w.n {
+			return
+		}
+		s.avail -= w.n
+		s.queue.Remove(e)
+		close(w.ready)
+	}
+}

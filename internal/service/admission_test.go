@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSlotSemImmediateGrantAndRelease(t *testing.T) {
+	s := newSlotSem(4, 8)
+	if err := s.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(3)
+	s.Release(1)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after releases = %d, want 0", got)
+	}
+}
+
+func TestSlotSemQueueWaitAndGrant(t *testing.T) {
+	s := newSlotSem(2, 8)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		granted <- s.Acquire(ctx, 1)
+	}()
+	// The waiter must be queued, not granted.
+	deadline := time.After(time.Second)
+	for s.Queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Release(2)
+	if err := <-granted; err != nil {
+		t.Fatalf("queued waiter not granted after release: %v", err)
+	}
+	if got := s.InUse(); got != 1 {
+		t.Fatalf("InUse = %d, want 1", got)
+	}
+}
+
+func TestSlotSemTimeoutIsSaturated(t *testing.T) {
+	s := newSlotSem(1, 8)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx, 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("timed-out acquire returned %v, want ErrSaturated", err)
+	}
+	if got := s.Queued(); got != 0 {
+		t.Fatalf("timed-out waiter still queued (%d)", got)
+	}
+	// The held slot is unaffected and still releasable.
+	s.Release(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSemQueueFullRejectsImmediately(t *testing.T) {
+	s := newSlotSem(1, 1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Acquire(ctx, 1) // fills the one queue slot
+	}()
+	deadline := time.After(time.Second)
+	for s.Queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	start := time.Now()
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("full-queue acquire returned %v, want ErrSaturated", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("full-queue rejection was not immediate")
+	}
+	s.Release(1) // drain the queued waiter
+}
+
+// TestSlotSemFIFOHeadCancelUnblocksTail pins the strict-FIFO contract: a
+// wide request at the head blocks narrower ones behind it, and removing the
+// head (its wait expired) lets them through.
+func TestSlotSemFIFOHeadCancelUnblocksTail(t *testing.T) {
+	s := newSlotSem(4, 8)
+	if err := s.Acquire(context.Background(), 3); err != nil { // 1 slot left
+		t.Fatal(err)
+	}
+	headCtx, headCancel := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() { headErr <- s.Acquire(headCtx, 4) }() // cannot fit: 1 free
+	deadline := time.After(time.Second)
+	for s.Queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("head waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	tailErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tailErr <- s.Acquire(ctx, 1) // would fit, but FIFO holds it behind the head
+	}()
+	select {
+	case err := <-tailErr:
+		t.Fatalf("tail overtook the queue head: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	headCancel()
+	if err := <-headErr; !errors.Is(err, ErrSaturated) {
+		t.Fatalf("cancelled head returned %v, want ErrSaturated", err)
+	}
+	if err := <-tailErr; err != nil {
+		t.Fatalf("tail not granted after head removal: %v", err)
+	}
+}

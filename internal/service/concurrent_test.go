@@ -1,0 +1,184 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// waitForGoroutines polls until the goroutine count returns to the
+// baseline, i.e. no job or stream goroutine leaked. The test client's
+// pooled keep-alive connections each hold two net/http goroutines, so idle
+// connections are dropped before every measurement.
+func waitForGoroutines(t *testing.T, e *testEnv, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		e.ts.Client().CloseIdleConnections()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentMixedWorkload drives ≥8 simultaneous HTTP jobs — streamed
+// enumerations with exact MaxCliques budgets, parallel counts, and
+// cancellations mid-stream — against two datasets on one server, then
+// asserts every job reached a terminal state, every worker slot was
+// released, the limited streams delivered exactly their budget, and no
+// goroutines leaked.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	withTestProcs(t, 4)
+	e := newTestEnv(t, service.Config{
+		WorkerSlots: 4,
+		QueueWait:   20 * time.Second, // nothing should 429 in this test
+		MaxQueue:    64,
+	})
+	gA := hbbmc.GenerateER(600, 6000, 21)
+	gB := hbbmc.GenerateBA(800, 6, 22)
+	e.registerGraph("a", gA)
+	e.registerGraph("b", gB)
+	wantA := countCliques(t, gA)
+	wantB := countCliques(t, gB)
+	if wantA < 200 || wantB < 200 {
+		t.Fatalf("test graphs too small: %d / %d cliques", wantA, wantB)
+	}
+
+	// Warm both sessions so the workload below measures serving, not
+	// preprocessing, and leave the goroutine baseline to settle.
+	e.waitJob(e.startJob(map[string]any{"dataset": "a", "mode": "count"}).ID)
+	e.waitJob(e.startJob(map[string]any{"dataset": "b", "mode": "count"}).ID)
+	e.ts.Client().CloseIdleConnections()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	type jobSpec struct {
+		dataset string
+		kind    string // "stream-limited", "count", "cancel"
+		want    int64  // expected cliques for count; budget for stream-limited
+	}
+	specs := []jobSpec{
+		{"a", "stream-limited", 17},
+		{"b", "stream-limited", 23},
+		{"a", "count", wantA},
+		{"b", "count", wantB},
+		{"a", "cancel", 0},
+		{"b", "cancel", 0},
+		{"a", "stream-limited", 41},
+		{"b", "count", wantB},
+		{"a", "count", wantA},
+		{"b", "cancel", 0},
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec jobSpec) {
+			defer wg.Done()
+			workers := 1 + i%3
+			switch spec.kind {
+			case "stream-limited":
+				v := e.startJob(map[string]any{
+					"dataset": spec.dataset, "mode": "enumerate",
+					"workers": workers, "max_cliques": spec.want,
+				})
+				cliques, trailer := streamJob(t, e, v.ID)
+				if int64(len(cliques)) != spec.want {
+					errs <- fmt.Errorf("job %d (%s): streamed %d cliques, want exactly %d", i, spec.dataset, len(cliques), spec.want)
+					return
+				}
+				if trailer == nil || trailer["state"] != string(service.StateStopped) {
+					errs <- fmt.Errorf("job %d: trailer %v, want stopped", i, trailer)
+				}
+			case "count":
+				v := e.startJob(map[string]any{"dataset": spec.dataset, "mode": "count", "workers": workers})
+				v = e.waitJob(v.ID)
+				if v.State != service.StateDone || v.Stats == nil || v.Stats.Cliques != spec.want {
+					errs <- fmt.Errorf("job %d (%s): state=%s cliques=%v, want done/%d", i, spec.dataset, v.State, v.Stats, spec.want)
+					return
+				}
+				if !v.SessionCached || v.Stats.OrderingTime != 0 {
+					errs <- fmt.Errorf("job %d: warm dataset served cold (cached=%v ordering=%v)", i, v.SessionCached, v.Stats.OrderingTime)
+				}
+			case "cancel":
+				// A tiny buffer and no stream reader: the job blocks until
+				// the DELETE lands.
+				v := e.startJob(map[string]any{
+					"dataset": spec.dataset, "mode": "enumerate", "workers": workers, "buffer": 1,
+				})
+				time.Sleep(time.Duration(5+i) * time.Millisecond)
+				resp, data := e.do("DELETE", "/v1/jobs/"+v.ID, nil)
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("job %d: cancel = %d %s", i, resp.StatusCode, data)
+					return
+				}
+				v = e.waitJob(v.ID)
+				if v.State != service.StateStopped {
+					errs <- fmt.Errorf("job %d: cancelled job ended %s", i, v.State)
+				}
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every slot must be back; a blocked cancel job that failed to release
+	// would hold the count up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, data := e.do("GET", "/healthz", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz: %d", resp.StatusCode)
+		}
+		if string(data) != "" && !jsonHasNonZero(data, "slots_in_use") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker slots never drained: %s", data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	waitForGoroutines(t, e, baseline)
+
+	if q := e.metric("jobs_queued"); q != 0 {
+		t.Fatalf("jobs_queued gauge = %d, want 0", q)
+	}
+	if r := e.metric("jobs_running"); r != 0 {
+		t.Fatalf("jobs_running gauge = %d, want 0", r)
+	}
+	done, stopped := e.metric("jobs_done"), e.metric("jobs_stopped")
+	if done < 6 || stopped < 6 { // 2 warmups + 4 counts; 3 limited + 3 cancels
+		t.Fatalf("jobs_done=%d jobs_stopped=%d, want ≥6 each", done, stopped)
+	}
+}
+
+// jsonHasNonZero reports whether the flat JSON object data maps key to a
+// non-zero number.
+func jsonHasNonZero(data []byte, key string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	v, ok := m[key].(float64)
+	return ok && v != 0
+}

@@ -1,0 +1,319 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+)
+
+// JobState is one step of the job lifecycle:
+//
+//	queued -> running -> done | stopped | failed
+//
+// "done" is a complete enumeration, "stopped" an intentional early exit
+// (clique budget, cancellation, deadline), "failed" an error — including a
+// 429'd admission, so rejected jobs remain observable.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateStopped JobState = "stopped"
+	StateFailed  JobState = "failed"
+)
+
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateStopped || s == StateFailed
+}
+
+// Job is one enumeration or count run against a registered dataset. The
+// mutable fields are guarded by mu; the clique channel is the bounded pipe
+// between the enumeration's Visitor and the NDJSON stream handler — a full
+// channel blocks the workers, which is the service's backpressure.
+type Job struct {
+	ID      string
+	Dataset string
+	Mode    string // "enumerate" or "count"
+	Opts    hbbmc.Options
+	Query   hbbmc.QueryOptions
+	Workers int // worker slots held while running
+
+	mu         sync.Mutex
+	state      JobState
+	stopReason string
+	errMsg     string
+	stats      *hbbmc.Stats
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+
+	sessionCached bool
+	prepTime      time.Duration
+
+	cancel       context.CancelFunc
+	cancelReason atomic.Pointer[string]
+	// cancelled closes on the first requestCancel, before j.cancel exists:
+	// it is the signal that reaches a job still waiting in admission.
+	cancelled   chan struct{}
+	cancelOnce  sync.Once
+	cliques     chan []int32 // nil for count jobs
+	streamClaim atomic.Bool
+	delivered   atomic.Int64
+	done        chan struct{} // closed when the state turns terminal
+}
+
+// JobView is the JSON representation of a Job.
+type JobView struct {
+	ID         string   `json:"id"`
+	Dataset    string   `json:"dataset"`
+	Mode       string   `json:"mode"`
+	Algorithm  string   `json:"algorithm"`
+	State      JobState `json:"state"`
+	StopReason string   `json:"stop_reason,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Workers    int      `json:"workers"`
+	// SessionCached reports whether the job reused a warm session (its
+	// query paid zero ordering time); PrepTimeNS is the cached
+	// preprocessing cost either way.
+	SessionCached bool          `json:"session_cached"`
+	PrepTimeNS    time.Duration `json:"prep_time_ns"`
+	// Delivered counts cliques handed to the streaming client so far.
+	Delivered int64        `json:"cliques_delivered"`
+	Stats     *hbbmc.Stats `json:"stats,omitempty"`
+	CreatedAt string       `json:"created_at"`
+	StartedAt string       `json:"started_at,omitempty"`
+	DoneAt    string       `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for JSON rendering.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:            j.ID,
+		Dataset:       j.Dataset,
+		Mode:          j.Mode,
+		Algorithm:     j.Opts.Algorithm.String(),
+		State:         j.state,
+		StopReason:    j.stopReason,
+		Error:         j.errMsg,
+		Workers:       j.Workers,
+		SessionCached: j.sessionCached,
+		PrepTimeNS:    j.prepTime,
+		Delivered:     j.delivered.Load(),
+		Stats:         j.stats,
+		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.DoneAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// requestCancel asks a job to stop; reason is recorded as the stop reason
+// ("cancelled", "client disconnected"). The first reason wins. It works in
+// every non-terminal state: a running job's context is cancelled, and a job
+// still queued in admission observes the cancelled channel and never runs.
+func (j *Job) requestCancel(reason string) {
+	j.cancelReason.CompareAndSwap(nil, &reason)
+	j.cancelOnce.Do(func() { close(j.cancelled) })
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// jobManager tracks every job the server admitted (and the rejected ones,
+// kept as failed for observability) and prunes terminal jobs beyond the
+// history limit.
+type jobManager struct {
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // creation order, for listing and pruning
+	seq        int64
+	maxHistory int
+	m          *metrics
+}
+
+func newJobManager(maxHistory int, m *metrics) *jobManager {
+	return &jobManager{jobs: make(map[string]*Job), maxHistory: maxHistory, m: m}
+}
+
+func (jm *jobManager) create(dataset, mode string, opts hbbmc.Options, q hbbmc.QueryOptions, workers, buffer int) *Job {
+	jm.mu.Lock()
+	jm.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", jm.seq),
+		Dataset:   dataset,
+		Mode:      mode,
+		Opts:      opts,
+		Query:     q,
+		Workers:   workers,
+		state:     StateQueued,
+		created:   time.Now(),
+		cancelled: make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if mode == "enumerate" {
+		j.cliques = make(chan []int32, buffer)
+	}
+	jm.jobs[j.ID] = j
+	jm.order = append(jm.order, j.ID)
+	jm.pruneLocked()
+	jm.mu.Unlock()
+	jm.m.jobsQueued.Add(1)
+	return j
+}
+
+// pruneLocked drops the oldest terminal jobs beyond the history limit so a
+// long-running daemon's job table stays bounded. Live jobs are never
+// dropped.
+func (jm *jobManager) pruneLocked() {
+	excess := len(jm.jobs) - jm.maxHistory
+	if excess <= 0 {
+		return
+	}
+	kept := jm.order[:0]
+	for _, id := range jm.order {
+		j := jm.jobs[id]
+		if j == nil {
+			continue
+		}
+		if excess > 0 && j.State().terminal() {
+			delete(jm.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	jm.order = append([]string(nil), kept...)
+}
+
+func (jm *jobManager) get(id string) (*Job, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	return j, ok
+}
+
+func (jm *jobManager) list() []*Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]*Job, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// markRunning moves a queued job to running.
+func (jm *jobManager) markRunning(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	jm.m.jobsQueued.Add(-1)
+	jm.m.jobsRunning.Add(1)
+}
+
+// markStopped records a job cancelled before it ever ran (still queued in
+// admission when the cancel landed).
+func (jm *jobManager) markStopped(j *Job, reason string) {
+	j.mu.Lock()
+	j.state = StateStopped
+	j.stopReason = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	jm.m.jobsQueued.Add(-1)
+	jm.m.jobsStopped.Add(1)
+	close(j.done)
+}
+
+// markFailed moves a job to failed from any non-terminal state (admission
+// rejections fail from queued; run errors fail from running).
+func (jm *jobManager) markFailed(j *Job, msg string) {
+	j.mu.Lock()
+	wasRunning := j.state == StateRunning
+	j.state = StateFailed
+	j.errMsg = msg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if wasRunning {
+		jm.m.jobsRunning.Add(-1)
+	} else {
+		jm.m.jobsQueued.Add(-1)
+	}
+	jm.m.jobsFailed.Add(1)
+	close(j.done)
+}
+
+// finish records a terminal state from the enumeration's outcome. The state
+// and stats are set before the clique channel is closed (the caller closes
+// it after finish returns), so a streaming reader that drains the channel
+// always observes the terminal state.
+func (jm *jobManager) finish(j *Job, stats *hbbmc.Stats, runErr error, ctx context.Context) {
+	state := StateDone
+	reason := ""
+	msg := ""
+	switch {
+	case runErr == nil:
+		// Complete run; a cancellation that raced the final branch and was
+		// never observed by the driver does not repaint the outcome.
+	case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded),
+		errors.Is(runErr, hbbmc.ErrStopped):
+		state = StateStopped
+		switch {
+		case j.cancelReason.Load() != nil:
+			reason = *j.cancelReason.Load()
+		case errors.Is(runErr, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+			reason = "deadline"
+		case errors.Is(runErr, hbbmc.ErrStopped):
+			reason = "max_cliques"
+		default:
+			reason = "cancelled"
+		}
+	default:
+		state = StateFailed
+		msg = runErr.Error()
+	}
+	j.mu.Lock()
+	j.state = state
+	j.stopReason = reason
+	j.errMsg = msg
+	j.stats = stats
+	j.finished = time.Now()
+	j.mu.Unlock()
+	jm.m.jobsRunning.Add(-1)
+	switch state {
+	case StateDone:
+		jm.m.jobsDone.Add(1)
+	case StateStopped:
+		jm.m.jobsStopped.Add(1)
+	default:
+		jm.m.jobsFailed.Add(1)
+	}
+	close(j.done)
+}

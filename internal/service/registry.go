@@ -1,0 +1,285 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+)
+
+// Registry maps dataset names to graph files, loads each graph once
+// (through the .hbg sidecar snapshot cache) and keeps warm Sessions — one
+// per (dataset, algorithm-relevant options) pair — under an LRU byte
+// budget measured by Session.MemoryEstimate. It is the component that
+// turns the per-query cost of the service from parse+preprocess into pure
+// enumeration: the first job on a (dataset, options) pair pays NewSession,
+// every later one starts enumerating immediately.
+type Registry struct {
+	mu       sync.Mutex
+	datasets map[string]*dataset
+	sessions map[string]*sessionEntry // dataset name + "\x00" + Options.SessionKey()
+	lru      *list.List               // of *sessionEntry; front = most recently used
+	used     int64                    // bytes of built sessions
+	budget   int64
+	m        *metrics
+}
+
+type dataset struct {
+	name   string
+	path   string
+	format hbbmc.Format
+
+	// The graph loads once, outside any registry lock — a multi-second
+	// parse must not stall unrelated registry operations. The fields below
+	// are written only inside once and read only after observing
+	// loaded=true (or from within graph()), so no mutex is needed.
+	once      sync.Once
+	loaded    atomic.Bool
+	g         *hbbmc.Graph
+	loadTime  time.Duration
+	fromCache bool
+	loadErr   error
+}
+
+type sessionEntry struct {
+	key     string
+	dataset string
+	elem    *list.Element
+
+	once sync.Once
+	sess *hbbmc.Session
+	size int64
+	err  error
+}
+
+// DatasetInfo is the JSON view of one registered dataset.
+type DatasetInfo struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Format string `json:"format"`
+	// Loaded reports whether the graph is resident; Vertices/Edges and the
+	// load timings are only meaningful when it is.
+	Loaded    bool  `json:"loaded"`
+	Vertices  int   `json:"vertices,omitempty"`
+	Edges     int   `json:"edges,omitempty"`
+	GraphSize int64 `json:"graph_bytes,omitempty"`
+	// FromCache reports whether the load was served by a .hbg sidecar
+	// snapshot instead of a text parse.
+	FromCache  bool          `json:"from_cache,omitempty"`
+	LoadTimeNS time.Duration `json:"load_time_ns,omitempty"`
+	// Sessions is the number of warm sessions cached for this dataset.
+	Sessions int `json:"sessions"`
+}
+
+func newRegistry(budget int64, m *metrics) *Registry {
+	return &Registry{
+		datasets: make(map[string]*dataset),
+		sessions: make(map[string]*sessionEntry),
+		lru:      list.New(),
+		budget:   budget,
+		m:        m,
+	}
+}
+
+// Register adds a dataset under name. The file must exist; the graph itself
+// is loaded lazily on the first job (or an explicit load), through the .hbg
+// sidecar cache.
+func (r *Registry) Register(name, path, format string) (DatasetInfo, error) {
+	f, err := hbbmc.ParseFormat(format)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	if fi.IsDir() {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q: %s is a directory", name, path)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[name]; ok {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q already registered", name)
+	}
+	d := &dataset{name: name, path: path, format: f}
+	r.datasets[name] = d
+	r.m.datasets.Set(int64(len(r.datasets)))
+	return r.infoLocked(d), nil
+}
+
+// Remove unregisters a dataset and evicts its cached sessions. Jobs already
+// running on those sessions keep their references and finish normally.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[name]; !ok {
+		return false
+	}
+	delete(r.datasets, name)
+	for key, e := range r.sessions {
+		if e.dataset == name {
+			r.dropLocked(key, e)
+		}
+	}
+	r.m.datasets.Set(int64(len(r.datasets)))
+	return true
+}
+
+// Datasets returns the registered datasets sorted by name.
+func (r *Registry) Datasets() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		out = append(out, r.infoLocked(d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dataset returns one dataset's info.
+func (r *Registry) Dataset(name string) (DatasetInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.datasets[name]
+	if !ok {
+		return DatasetInfo{}, false
+	}
+	return r.infoLocked(d), true
+}
+
+func (r *Registry) infoLocked(d *dataset) DatasetInfo {
+	info := DatasetInfo{Name: d.name, Path: d.path, Format: d.format.String()}
+	for _, e := range r.sessions {
+		if e.dataset == d.name {
+			info.Sessions++
+		}
+	}
+	// A load still in flight reports Loaded=false rather than blocking the
+	// registry lock behind it; observing loaded=true orders the reads of
+	// the load-once fields.
+	if d.loaded.Load() && d.loadErr == nil {
+		info.Loaded = true
+		info.Vertices = d.g.NumVertices()
+		info.Edges = d.g.NumEdges()
+		info.GraphSize = d.g.MemoryFootprint()
+		info.FromCache = d.fromCache
+		info.LoadTimeNS = d.loadTime
+	}
+	return info
+}
+
+// graph loads the dataset's graph once; concurrent callers share the load.
+func (d *dataset) graph() (*hbbmc.Graph, error) {
+	d.once.Do(func() {
+		start := time.Now()
+		g, fromCache, err := hbbmc.LoadFileCached(d.path, hbbmc.LoadOptions{Format: d.format})
+		if err != nil {
+			d.loadErr = fmt.Errorf("service: dataset %q: %w", d.name, err)
+		} else {
+			d.g, d.fromCache, d.loadTime = g, fromCache, time.Since(start)
+		}
+		d.loaded.Store(true)
+	})
+	return d.g, d.loadErr
+}
+
+// Session returns the warm Session for (dataset, opts), building it on the
+// first request and reusing it afterwards. The bool reports a cache hit — a
+// job served by an already-built session, the signal that its query paid
+// zero preprocessing. Concurrent requests for the same key share one build.
+func (r *Registry) Session(name string, opts hbbmc.Options) (*hbbmc.Session, bool, error) {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	key := name + "\x00" + opts.SessionKey()
+	e, hit := r.sessions[key]
+	if hit {
+		r.lru.MoveToFront(e.elem)
+		r.m.sessionHits.Add(1)
+	} else {
+		e = &sessionEntry{key: key, dataset: name}
+		e.elem = r.lru.PushFront(e)
+		r.sessions[key] = e
+		r.m.sessionMisses.Add(1)
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		g, err := d.graph()
+		if err != nil {
+			e.err = err
+			return
+		}
+		sess, err := hbbmc.NewSession(g, opts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sess = sess
+		size := sess.MemoryEstimate()
+		r.mu.Lock()
+		// The entry may have been dropped (dataset removed, LRU evicted)
+		// while building; only account it if it is still cached. e.size is
+		// written under r.mu so dropLocked always sees the accounted value.
+		if r.sessions[key] == e {
+			e.size = size
+			r.used += size
+			r.evictLocked(e)
+			r.m.sessionBytes.Set(r.used)
+		}
+		r.mu.Unlock()
+	})
+	if e.err != nil {
+		r.mu.Lock()
+		if r.sessions[key] == e {
+			r.dropLocked(key, e)
+		}
+		r.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e.sess, hit, nil
+}
+
+// evictLocked walks the LRU from the tail, dropping sessions until the
+// budget holds. keep (the entry just built) is skipped, never evicted — a
+// single session larger than the whole budget still serves its job, it
+// just evicts everything else. Skipped rather than stopped at: a slow
+// build can sink to the tail while other keys take hits, and stopping
+// there would leave the budget exceeded forever.
+func (r *Registry) evictLocked(keep *sessionEntry) {
+	e := r.lru.Back()
+	for r.used > r.budget && e != nil {
+		prev := e.Prev()
+		if entry := e.Value.(*sessionEntry); entry != keep {
+			r.dropLocked(entry.key, entry)
+			r.m.sessionEvictions.Add(1)
+		}
+		e = prev
+	}
+}
+
+func (r *Registry) dropLocked(key string, e *sessionEntry) {
+	delete(r.sessions, key)
+	r.lru.Remove(e.elem)
+	r.used -= e.size
+	if r.used < 0 {
+		r.used = 0
+	}
+	r.m.sessionBytes.Set(r.used)
+}
+
+// SessionBytes returns the bytes currently held by cached sessions.
+func (r *Registry) SessionBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+)
+
+// jobRequest is the POST /v1/jobs body. Omitted algorithm fields default to
+// the paper's HBBMC++ configuration (hbbmc.DefaultOptions); omitted run
+// fields default to one worker, no clique budget and no deadline.
+type jobRequest struct {
+	Dataset string `json:"dataset"`
+	// Mode is "enumerate" (stream cliques over /cliques) or "count"
+	// (statistics only). "" = enumerate.
+	Mode string `json:"mode"`
+
+	// Algorithm-relevant options; together with the dataset they select the
+	// cached session.
+	Algorithm   string `json:"algorithm"`    // "" = hbbmc
+	ET          *int   `json:"et"`           // nil = 3
+	GR          *bool  `json:"gr"`           // nil = true
+	SwitchDepth int    `json:"switch_depth"` // 0 = 1
+	EdgeOrder   string `json:"edge_order"`   // "" = truss
+	Inner       string `json:"inner"`        // "" = pivot
+
+	// Per-request run knobs; they never fragment the session cache.
+	Workers    int    `json:"workers"`     // ≤0 = 1, clamped to the slot capacity
+	MaxCliques int64  `json:"max_cliques"` // 0 = unlimited
+	Timeout    string `json:"timeout"`     // Go duration, e.g. "30s"; "" = none
+	Buffer     int    `json:"buffer"`      // stream channel capacity; 0 = server default
+}
+
+// options maps the request to the session-defining Options. The per-run
+// knobs are deliberately excluded — MaxCliques and Workers travel through
+// QueryOptions so that requests with different limits share one session.
+func (req *jobRequest) options() (hbbmc.Options, error) {
+	opts := hbbmc.DefaultOptions()
+	if req.Algorithm != "" {
+		a, err := hbbmc.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			return opts, err
+		}
+		opts.Algorithm = a
+	}
+	if req.ET != nil {
+		opts.ET = *req.ET
+	}
+	if req.GR != nil {
+		opts.GR = *req.GR
+	}
+	opts.SwitchDepth = req.SwitchDepth
+	if req.EdgeOrder != "" {
+		eo, err := hbbmc.ParseEdgeOrder(req.EdgeOrder)
+		if err != nil {
+			return opts, err
+		}
+		opts.EdgeOrder = eo
+	}
+	if req.Inner != "" {
+		in, err := hbbmc.ParseInnerAlgorithm(req.Inner)
+		if err != nil {
+			return opts, err
+		}
+		opts.Inner = in
+	}
+	return opts, nil
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	switch req.Mode {
+	case "":
+		req.Mode = "enumerate"
+	case "enumerate", "count":
+	default:
+		writeError(w, http.StatusBadRequest, "invalid mode %q (enumerate or count)", req.Mode)
+		return
+	}
+	if req.MaxCliques < 0 {
+		writeError(w, http.StatusBadRequest, "negative max_cliques %d", req.MaxCliques)
+		return
+	}
+	var timeout time.Duration
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout %q", req.Timeout)
+			return
+		}
+		timeout = d
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Build (or fetch) the warm session first: preprocessing is not guarded
+	// by worker slots — it is the cost the cache amortises away, and a miss
+	// must not hold slots hostage while it runs.
+	sess, cached, err := s.reg.Session(req.Dataset, opts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.reg.Dataset(req.Dataset); !ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// Clamp to what the job can actually use: the core driver never runs
+	// more than GOMAXPROCS goroutines, so holding more slots than that
+	// would starve other jobs off an idle machine.
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers > s.slots.Capacity() {
+		workers = s.slots.Capacity()
+	}
+	// The buffer is client-controlled and eagerly allocated (24 bytes per
+	// slot): clamp it so one request cannot force a giant allocation.
+	const maxStreamBuffer = 1 << 16
+	buffer := req.Buffer
+	if buffer <= 0 {
+		buffer = s.cfg.StreamBuffer
+	}
+	if buffer > maxStreamBuffer {
+		buffer = maxStreamBuffer
+	}
+	q := hbbmc.QueryOptions{Workers: workers, MaxCliques: req.MaxCliques}
+
+	j := s.jobs.create(req.Dataset, req.Mode, sess.Options(), q, workers, buffer)
+	j.mu.Lock()
+	j.sessionCached = cached
+	j.prepTime = sess.PrepTime()
+	j.mu.Unlock()
+
+	// Admission: hold the request while slots are busy, bounded by the
+	// configured queue wait; saturation is a 429, never an oversubscribed
+	// run. A DELETE landing while the job is queued here aborts the wait
+	// through j.cancelled; a client disconnect aborts it through
+	// r.Context(). Neither counts as saturation.
+	admCtx := r.Context()
+	var admCancel context.CancelFunc
+	if s.cfg.QueueWait > 0 {
+		admCtx, admCancel = context.WithTimeout(admCtx, s.cfg.QueueWait)
+	} else {
+		admCtx, admCancel = context.WithCancel(admCtx)
+		admCancel() // no waiting: an immediate grant or nothing
+	}
+	defer admCancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-j.cancelled:
+			admCancel()
+		case <-watchDone:
+		}
+	}()
+	err = s.slots.Acquire(admCtx, workers)
+	if err == nil && j.cancelReason.Load() != nil {
+		// Cancelled in the instant between the grant and here: give the
+		// slots straight back and take the stopped path below.
+		s.slots.Release(workers)
+		err = ErrSaturated
+	}
+	if err != nil {
+		switch {
+		case j.cancelReason.Load() != nil:
+			// Cancelled while queued: the job never runs.
+			s.jobs.markStopped(j, *j.cancelReason.Load())
+			if j.cliques != nil {
+				close(j.cliques)
+			}
+			writeJSON(w, http.StatusOK, j.View())
+		case r.Context().Err() != nil:
+			// The client gave up mid-wait; don't let its impatience read
+			// as saturation in the metrics.
+			s.jobs.markFailed(j, "client disconnected during admission")
+			if j.cliques != nil {
+				close(j.cliques)
+			}
+		default:
+			s.m.admissionRejected.Add(1)
+			s.jobs.markFailed(j, fmt.Sprintf("admission: %d worker slots saturated (capacity %d)", workers, s.slots.Capacity()))
+			if j.cliques != nil {
+				close(j.cliques)
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.QueueWait/time.Second)+1))
+			writeJSON(w, http.StatusTooManyRequests, j.View())
+		}
+		return
+	}
+
+	runCtx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		runCtx, cancel = context.WithTimeout(runCtx, timeout)
+	} else {
+		runCtx, cancel = context.WithCancel(runCtx)
+	}
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	// A DELETE that slipped in after the post-Acquire check found j.cancel
+	// still nil and was a no-op; honour it now that the context exists —
+	// the run then stops at its first cancellation poll.
+	if j.cancelReason.Load() != nil {
+		cancel()
+	}
+	s.jobs.markRunning(j)
+	go s.runJob(runCtx, cancel, j, sess)
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// runJob executes one admitted job and always releases its worker slots.
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, sess *hbbmc.Session) {
+	defer cancel()
+	var visit hbbmc.Visitor
+	if j.cliques != nil {
+		done := ctx.Done()
+		visit = func(c []int32) bool {
+			cp := append([]int32(nil), c...)
+			// The bounded channel is the backpressure: a slow (or absent)
+			// streaming client blocks the enumeration here until it drains
+			// or the job is cancelled.
+			select {
+			case j.cliques <- cp:
+				return true
+			case <-done:
+				return false
+			}
+		}
+	}
+	stats, runErr := sess.EnumerateWith(ctx, j.Query, visit)
+	s.slots.Release(j.Workers)
+	if runErr != nil && stats == nil {
+		s.jobs.markFailed(j, runErr.Error())
+	} else {
+		if j.cliques == nil && stats != nil {
+			// Count jobs deliver their cliques as a number; account them
+			// when the result is known.
+			s.m.cliquesEmitted.Add(stats.Cliques)
+		}
+		s.jobs.finish(j, stats, runErr, ctx)
+	}
+	if j.cliques != nil {
+		// Closed after the terminal state is recorded, so a reader that
+		// drains the channel observes the final state and stats.
+		close(j.cliques)
+	}
+}
+
+// cliqueLine is one NDJSON record of the stream: the clique's vertex ids.
+type cliqueLine struct {
+	C []int32 `json:"c"`
+}
+
+// streamTrailer is the stream's final NDJSON record.
+type streamTrailer struct {
+	Done       bool     `json:"done"`
+	State      JobState `json:"state"`
+	StopReason string   `json:"stop_reason,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Cliques    int64    `json:"cliques"`
+}
+
+// handleStreamCliques streams a job's cliques as NDJSON ({"c":[...]} per
+// line, a {"done":true,...} trailer). Exactly one client may stream a job;
+// the stream delivers every clique exactly once. Output is flushed every
+// flushEvery lines and whenever the producer pauses, so a live client sees
+// cliques promptly without a per-line flush syscall storm. A client
+// disconnect cancels the job — without its one consumer the enumeration
+// would otherwise block on the full channel until the deadline.
+func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.cliques == nil {
+		writeError(w, http.StatusBadRequest, "job %s is a %s job; it has no clique stream", j.ID, j.Mode)
+		return
+	}
+	if !j.streamClaim.CompareAndSwap(false, true) {
+		writeError(w, http.StatusConflict, "job %s already has a streaming client", j.ID)
+		return
+	}
+
+	const flushEvery = 64
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+
+	clientGone := r.Context().Done()
+	pending := 0
+	for {
+		var c []int32
+		var open bool
+		if pending > 0 {
+			// Drain without blocking while lines are unflushed; flush on
+			// the first pause so a slow producer's cliques are not held
+			// back by the batch threshold.
+			select {
+			case c, open = <-j.cliques:
+			default:
+				flush()
+				pending = 0
+				select {
+				case c, open = <-j.cliques:
+				case <-clientGone:
+					j.requestCancel("client disconnected")
+					return
+				}
+			}
+		} else {
+			select {
+			case c, open = <-j.cliques:
+			case <-clientGone:
+				j.requestCancel("client disconnected")
+				return
+			}
+		}
+		if !open {
+			break
+		}
+		if err := enc.Encode(cliqueLine{C: c}); err != nil {
+			j.requestCancel("client disconnected")
+			return
+		}
+		j.delivered.Add(1)
+		s.m.cliquesEmitted.Add(1)
+		if pending++; pending >= flushEvery {
+			flush()
+			pending = 0
+		}
+	}
+
+	// The channel closes only after the terminal state is recorded.
+	<-j.Done()
+	v := j.View()
+	_ = enc.Encode(streamTrailer{
+		Done:       true,
+		State:      v.State,
+		StopReason: v.StopReason,
+		Error:      v.Error,
+		Cliques:    j.delivered.Load(),
+	})
+	flush()
+}

@@ -1,0 +1,345 @@
+// Package service implements mced, the resident maximal-clique enumeration
+// daemon: a dataset registry with a warm-session LRU, a job manager with
+// NDJSON clique streaming, and admission control over a global worker-slot
+// semaphore.
+//
+// The point of the daemon is to move the per-query cost of a clique query
+// from parse+preprocess to pure enumeration. A cold CLI run pays text
+// parsing and the O(δm) ordering preprocessing on every invocation; the
+// registry pays the parse once per dataset (through the .hbg snapshot
+// sidecar) and the preprocessing once per (dataset, algorithm options)
+// pair, so every later job starts enumerating immediately and its Stats
+// report OrderingTime of zero.
+//
+// HTTP API (JSON; see the README's "Serving" section for curl examples):
+//
+//	GET    /healthz                 liveness + uptime
+//	GET    /metrics                 expvar-style counters
+//	GET    /v1/datasets             list registered datasets
+//	POST   /v1/datasets             register {"name","path","format"}
+//	GET    /v1/datasets/{name}      one dataset
+//	DELETE /v1/datasets/{name}      unregister + evict its sessions
+//	GET    /v1/jobs                 list jobs
+//	POST   /v1/jobs                 start a job; 429 when saturated
+//	GET    /v1/jobs/{id}            job status (+ ?wait=2s to long-poll)
+//	GET    /v1/jobs/{id}/cliques    NDJSON clique stream (one reader)
+//	DELETE /v1/jobs/{id}            cancel
+//
+// Admission control: every job holds as many worker slots as the worker
+// goroutines its query runs, acquired FIFO from a global semaphore sized to
+// Config.WorkerSlots. A request that cannot be admitted within
+// Config.QueueWait (or that arrives to a full admission queue) is rejected
+// with 429 instead of oversubscribing the machine.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"regexp"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the server. The zero value is usable: all defaults below.
+type Config struct {
+	// WorkerSlots is the global enumeration worker budget shared by all
+	// concurrent jobs (0 = GOMAXPROCS).
+	WorkerSlots int
+	// QueueWait bounds how long a job request may wait for worker slots
+	// before being rejected with 429 (0 = 2s; negative = no waiting).
+	QueueWait time.Duration
+	// MaxQueue bounds the admission queue length; requests beyond it are
+	// rejected immediately (0 = 4×WorkerSlots).
+	MaxQueue int
+	// SessionBudget is the LRU byte budget for cached sessions, measured by
+	// Session.MemoryEstimate (0 = 1 GiB).
+	SessionBudget int64
+	// StreamBuffer is the default per-job clique channel capacity; a full
+	// channel blocks the enumeration workers (backpressure) until the
+	// streaming client catches up (0 = 1024).
+	StreamBuffer int
+	// MaxJobHistory bounds the retained terminal jobs (0 = 256).
+	MaxJobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerSlots <= 0 {
+		c.WorkerSlots = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.QueueWait < 0 {
+		c.QueueWait = 0
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.WorkerSlots
+	}
+	if c.SessionBudget <= 0 {
+		c.SessionBudget = 1 << 30
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 1024
+	}
+	if c.MaxJobHistory <= 0 {
+		c.MaxJobHistory = 256
+	}
+	return c
+}
+
+// metrics holds the server's expvar counters. The vars are instance-local
+// (never published to the process-global expvar registry) so tests and
+// embedders can run several servers side by side; /metrics renders them.
+type metrics struct {
+	jobsQueued, jobsRunning           expvar.Int // gauges
+	jobsDone, jobsStopped, jobsFailed expvar.Int // cumulative
+	cliquesEmitted                    expvar.Int
+	sessionHits, sessionMisses        expvar.Int
+	sessionEvictions                  expvar.Int
+	sessionBytes                      expvar.Int // gauge
+	datasets                          expvar.Int // gauge
+	admissionRejected                 expvar.Int
+}
+
+func (m *metrics) vars() []struct {
+	name string
+	v    *expvar.Int
+} {
+	return []struct {
+		name string
+		v    *expvar.Int
+	}{
+		{"jobs_queued", &m.jobsQueued},
+		{"jobs_running", &m.jobsRunning},
+		{"jobs_done", &m.jobsDone},
+		{"jobs_stopped", &m.jobsStopped},
+		{"jobs_failed", &m.jobsFailed},
+		{"cliques_emitted", &m.cliquesEmitted},
+		{"session_cache_hits", &m.sessionHits},
+		{"session_cache_misses", &m.sessionMisses},
+		{"session_cache_evictions", &m.sessionEvictions},
+		{"session_cache_bytes", &m.sessionBytes},
+		{"datasets", &m.datasets},
+		{"admission_rejected", &m.admissionRejected},
+	}
+}
+
+// Server is the mced HTTP service. Create one with New and mount it as an
+// http.Handler; Shutdown cancels the jobs still running.
+type Server struct {
+	cfg      Config
+	m        *metrics
+	reg      *Registry
+	jobs     *jobManager
+	slots    *slotSem
+	mux      *http.ServeMux
+	started  time.Time
+	draining atomic.Bool // set by Shutdown: no new jobs are admitted
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := &metrics{}
+	s := &Server{
+		cfg:     cfg,
+		m:       m,
+		reg:     newRegistry(cfg.SessionBudget, m),
+		jobs:    newJobManager(cfg.MaxJobHistory, m),
+		slots:   newSlotSem(cfg.WorkerSlots, cfg.MaxQueue),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the dataset registry (for preloading datasets at boot).
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/cliques", s.handleStreamCliques)
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops admitting new jobs, cancels every live one and waits
+// (bounded by ctx) for them to release their worker slots. The cancel
+// sweep repeats each poll so a job that was mid-admission when the drain
+// began cannot slip through and hang the shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		for _, j := range s.jobs.list() {
+			if !j.State().terminal() {
+				j.requestCancel("server shutdown")
+			}
+		}
+		if s.slots.InUse() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"worker_slots":   s.slots.Capacity(),
+		"slots_in_use":   s.slots.InUse(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, "{")
+	vars := s.m.vars()
+	for i, kv := range vars {
+		comma := ","
+		if i == len(vars)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "  %q: %s%s\n", "mced_"+kv.name, kv.v.String(), comma)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+var datasetNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+type registerDatasetRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Format string `json:"format"` // "" = auto
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	var req registerDatasetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if !datasetNameRE.MatchString(req.Name) {
+		writeError(w, http.StatusBadRequest, "invalid dataset name %q", req.Name)
+		return
+	}
+	if req.Format == "" {
+		req.Format = "auto"
+	}
+	info, err := s.reg.Register(req.Name, req.Path, req.Format)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, exists := s.reg.Dataset(req.Name); exists {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.Datasets()})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Dataset(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Remove(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "invalid wait %q", waitStr)
+			return
+		}
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(wait):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.State().terminal() {
+		writeJSON(w, http.StatusOK, j.View())
+		return
+	}
+	j.requestCancel("cancelled")
+	writeJSON(w, http.StatusAccepted, j.View())
+}

@@ -51,6 +51,13 @@ func (inc *Incidence) ForEach(e int32, fn func(e1, e2 int32)) {
 	}
 }
 
+// MemoryFootprint returns the number of bytes held by the incidence arrays
+// (offsets plus the three per-triangle-entry columns), the retained-size
+// estimate used by session cache budgets.
+func (inc *Incidence) MemoryFootprint() int64 {
+	return int64(len(inc.off)+len(inc.coSrc)+len(inc.coDst)+len(inc.third)) * 4
+}
+
 // Triangles returns the total number of triangles in the underlying graph.
 func (inc *Incidence) Triangles() int64 {
 	if len(inc.off) == 0 {

@@ -42,10 +42,23 @@ var ErrStopped = core.ErrStopped
 // available core (GOMAXPROCS).
 const UseAllCores = core.UseAllCores
 
+// QueryOptions override, for a single Session query, the per-run knobs of
+// the session's Options (worker count, clique budget, emit batching, phase
+// timers) without rebuilding the cached preprocessing. The zero value
+// inherits every session setting; see Session.EnumerateWith and
+// Session.CountWith. This is the mechanism a service uses to serve
+// per-request limits from one shared Session.
+type QueryOptions = core.QueryOptions
+
+// NoCliqueLimit is the QueryOptions.MaxCliques value that removes a
+// session-level clique budget for one query.
+const NoCliqueLimit = core.NoCliqueLimit
+
 // NewSession validates opts and computes the preprocessing for g once:
 // graph reduction (when Options.GR is set), the top-level vertex or edge
 // ordering, and the triangle incidence of the edge-oriented frameworks.
-// See Session for the query methods.
+// See Session for the query methods; Session.MemoryEstimate reports the
+// bytes the cached artifacts retain (cache budgets evict on it).
 func NewSession(g *Graph, opts Options) (*Session, error) {
 	return core.NewSession(g, opts)
 }
