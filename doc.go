@@ -181,10 +181,15 @@
 //   - internal/reduce — graph-reduction preprocessing
 //   - internal/gen — synthetic graph generators (ER, BA, SBM, ...)
 //   - internal/kclique — EBBkC k-clique listing, the paper's substrate [19]
+//   - internal/analysis — custom static analyzers enforcing the engine's
+//     invariants (allocation-free hot path, arena windows, Stats merge
+//     coverage, mutex guards, stop-latch polling)
 //
-// The cmd/ directory ships five tools: mce (enumerate, with -timeout and
+// The cmd/ directory ships six tools: mce (enumerate, with -timeout and
 // -maxcliques bounds), mced (the resident enumeration daemon), mcegen
 // (generate workloads), mcebench (reproduce the paper's tables and
-// figures, optionally as JSON lines) and mceverify (audit a clique file
-// against its graph).
+// figures, optionally as JSON lines), mceverify (audit a clique file
+// against its graph) and mcelint (the static-analysis suite; run it with
+// `go tool mcelint ./...` — see the README's "Static analysis" section
+// for the //hbbmc:noalloc and //hbbmc:guardedby annotation conventions).
 package hbbmc

@@ -1,3 +1,5 @@
 module github.com/graphmining/hbbmc
 
-go 1.23
+go 1.24
+
+tool github.com/graphmining/hbbmc/cmd/mcelint

@@ -1,0 +1,165 @@
+// Package analysis is a minimal in-repo counterpart of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo deliberately builds with a dependency-free go.mod (it must
+// compile offline), so the x/tools framework is not imported. The subset
+// implemented here — Analyzer, Pass, Diagnostic, the //hbbmc:* directive
+// conventions and AST parent tracking — is exactly what the mcelint
+// analyzers need, and keeps the same shape as x/tools so a later migration
+// is mechanical: an Analyzer's Run receives a Pass with the package's
+// parsed files, type information and a Report sink.
+//
+// Directives. The analyzers are driven by machine-readable comments of the
+// form
+//
+//	//hbbmc:<name> [args...]
+//
+// attached to declarations (function docs, struct fields) or trailing a
+// statement. See the individual analyzer packages for the directives they
+// define (noalloc, nomerge, guardedby, locked, ctxpoll, allowalloc,
+// allowescape).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a human-readable description; the first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// collects the diagnostics it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. NewPass installs a collector.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// NewPass builds a Pass for one analyzer over a loaded package, appending
+// reported diagnostics to *sink.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink *[]Diagnostic) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	p.Report = func(d Diagnostic) {
+		d.Analyzer = a.Name
+		*sink = append(*sink, d)
+	}
+	return p
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DirectivePrefix introduces every machine-readable comment the suite
+// understands.
+const DirectivePrefix = "//hbbmc:"
+
+// Directive scans the comment groups for a //hbbmc:<name> directive and
+// returns its (possibly empty) argument string. Directives must start the
+// comment line; anything after the name is the argument.
+func Directive(name string, groups ...*ast.CommentGroup) (args string, ok bool) {
+	prefix := DirectivePrefix + name
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := c.Text[len(prefix):]
+			if rest == "" {
+				return "", true
+			}
+			if rest[0] == ' ' || rest[0] == '\t' {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// FuncDirective reports whether fn carries the named directive in its doc
+// comment.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	_, ok := Directive(name, fn.Doc)
+	return ok
+}
+
+// DirectiveLines returns the set of file lines carrying the named directive
+// anywhere in the file (doc comments and trailing line comments alike).
+// Statement-level suppressions use it: a directive on line L covers the
+// statement starting on L.
+func DirectiveLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	prefix := DirectivePrefix + name
+	lines := map[int]bool{}
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, prefix) {
+				rest := c.Text[len(prefix):]
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// Parents maps every node under root to its parent, for analyses that need
+// to classify the syntactic context of a leaf (x/tools gets this from the
+// inspector package).
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ExprKey renders an expression as a stable string key ("e.setArena",
+// "jm.mu"), the textual identity used to match mutexes and arena handles
+// across statements of one function.
+func ExprKey(e ast.Expr) string { return types.ExprString(e) }
+
+// ReceiverName returns the name of fn's receiver variable, or "".
+func ReceiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}

@@ -1,0 +1,115 @@
+// Package antest runs an analyzer over GOPATH-style fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: a comment
+//
+//	x := leak() // want `regexp matching the message`
+//
+// on line L asserts exactly one diagnostic on L whose message matches the
+// back-quoted (or double-quoted) regular expression. Unmatched diagnostics
+// and unsatisfied expectations both fail the test.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+	"github.com/graphmining/hbbmc/internal/analysis/load"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run applies the analyzer to each fixture package under testdataSrc (a
+// directory laid out as <testdataSrc>/<pkgpath>/*.go) and diffs the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdataSrc string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewFixtureLoader(testdataSrc)
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo, &diags)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+var wantRE = regexp.MustCompile("^want (`[^`]*`|\"[^\"]*\")$")
+
+func parseWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					if strings.HasPrefix(text, "want ") {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					continue
+				}
+				pat := m[1][1 : len(m[1])-1]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// FileByName returns the fixture file whose basename matches name — a
+// convenience for analyzers' own unit tests.
+func FileByName(pkg *load.Package, name string) *ast.File {
+	for _, f := range pkg.Files {
+		pos := pkg.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "/"+name) || pos.Filename == name {
+			return f
+		}
+	}
+	panic(fmt.Sprintf("no fixture file %q", name))
+}

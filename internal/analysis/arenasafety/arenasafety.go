@@ -1,0 +1,581 @@
+// Package arenasafety checks the mark/release discipline around the
+// engine's arena allocators (bitset.Arena, core.i32Arena).
+//
+// An arena type is recognised structurally: a named type whose pointer
+// method set has mark()/Mark() returning an int watermark and
+// release(int)/Release(int) restoring it. Within each function that marks
+// an arena, the analyzer enforces:
+//
+//   - every mark is released: by a deferred release, or a release on every
+//     return path after the mark (checked per enclosing block), or a
+//     release at the function's top level before falling off the end;
+//   - slices obtained from the arena after the mark (get/Get/GetUnzeroed/
+//     getZeroed results) must not escape the mark/release window: returning
+//     one or storing one into a struct field is flagged — the memory is
+//     recycled at release. Deliberate stores (e.g. temporarily swinging a
+//     scratch field at an arena slice, restored before release) carry
+//     `//hbbmc:allowescape <reason>` on the assignment's line;
+//   - a GetUnzeroed/get result must be fully overwritten before it is
+//     read: the first use must be a write — an indexed store, an overwrite
+//     kernel call (CopyFrom, AndInto*, AndNotInto*), or passing it to a
+//     callee as a destination. A first use that reads (ranging over it,
+//     Count-style kernels, appearing on an RHS index read) is flagged.
+//
+// Arena handles themselves must not migrate: assigning an existing arena
+// value into a struct field is flagged (constructing a fresh arena in a
+// composite literal or from a New* call is fine — that is ownership, not
+// migration).
+package arenasafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+)
+
+// Analyzer is the arenasafety pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenasafety",
+	Doc:  "arena slices must not outlive their mark/release window",
+	Run:  run,
+}
+
+// overwriteMethods are the kernel calls that fully overwrite their
+// receiver, making them legal first uses of unzeroed arena memory.
+var overwriteMethods = map[string]bool{
+	"CopyFrom":        true,
+	"AndInto":         true,
+	"AndNotInto":      true,
+	"AndIntoCount":    true,
+	"AndNotIntoCount": true,
+	"OrInto":          true,
+	"Fill":            true,
+	"Zero":            true,
+	"Clear":           true,
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []funcScope
+	for _, f := range pass.Files {
+		allowLines := analysis.DirectiveLines(pass.Fset, f, "allowescape")
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				fns = append(fns, funcScope{body: fn.Body, allow: allowLines})
+			}
+		}
+	}
+	// Closures get their own scope: a mark in the enclosing function does
+	// not license gets inside a literal that may run later.
+	for i := 0; i < len(fns); i++ {
+		scope := fns[i]
+		ast.Inspect(scope.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && n != scope.body {
+				fns = append(fns, funcScope{body: lit.Body, allow: scope.allow})
+				return false
+			}
+			return true
+		})
+	}
+	for _, scope := range fns {
+		checkScope(pass, scope)
+	}
+	return nil
+}
+
+type funcScope struct {
+	body  *ast.BlockStmt
+	allow map[int]bool // lines carrying //hbbmc:allowescape
+}
+
+type markInfo struct {
+	key string // textual arena expression, e.g. "e.setArena"
+	pos token.Pos
+}
+
+type releaseInfo struct {
+	key      string
+	pos      token.Pos
+	node     ast.Node // the CallExpr
+	deferred bool
+}
+
+type trackedVar struct {
+	obj      *types.Var
+	key      string
+	pos      token.Pos
+	unzeroed bool
+}
+
+func checkScope(pass *analysis.Pass, scope funcScope) {
+	body := scope.body
+	parents := analysis.Parents(body)
+
+	var marks []markInfo
+	var releases []releaseInfo
+	var tracked []trackedVar
+
+	// Phase 1: collect marks, releases, and arena-slice bindings, skipping
+	// nested closures (they are separate scopes).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if key, ok := releaseCall(pass, n.Call); ok {
+				releases = append(releases, releaseInfo{key: key, pos: n.Pos(), node: n.Call, deferred: true})
+			}
+		case *ast.CallExpr:
+			if key, ok := releaseCall(pass, n); ok {
+				if p, isDefer := parents[n].(*ast.DeferStmt); !isDefer || p.Call != n {
+					releases = append(releases, releaseInfo{key: key, pos: n.Pos(), node: n})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := markCall(pass, call); ok {
+					marks = append(marks, markInfo{key: key, pos: n.Pos()})
+					continue
+				}
+				if key, unzeroed, ok := getCall(pass, call); ok {
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj, _ := pass.TypesInfo.Defs[id].(*types.Var)
+					if obj == nil {
+						obj, _ = pass.TypesInfo.Uses[id].(*types.Var)
+					}
+					if obj != nil && markedBefore(marks, key, n.Pos()) {
+						tracked = append(tracked, trackedVar{obj: obj, key: key, pos: n.Pos(), unzeroed: unzeroed})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	trackedObjs := map[*types.Var]*trackedVar{}
+	for i := range tracked {
+		trackedObjs[tracked[i].obj] = &tracked[i]
+	}
+
+	checkEscapes(pass, scope, parents, trackedObjs, marks)
+	checkReleases(pass, body, parents, marks, releases)
+	for i := range tracked {
+		if tracked[i].unzeroed {
+			checkFirstUse(pass, body, parents, &tracked[i])
+		}
+	}
+}
+
+// markedBefore reports whether the arena key was marked at an earlier
+// position in this scope — gets before any mark (persistent rows filled at
+// session build) are exempt from window tracking.
+func markedBefore(marks []markInfo, key string, pos token.Pos) bool {
+	for _, m := range marks {
+		if m.key == key && m.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// arenaMethod matches a method call on an arena-typed receiver and returns
+// the receiver's textual key plus the method name.
+func arenaMethod(pass *analysis.Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	if !isArenaType(s.Recv()) {
+		return "", "", false
+	}
+	return analysis.ExprKey(sel.X), sel.Sel.Name, true
+}
+
+func markCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	key, m, ok := arenaMethod(pass, call)
+	if !ok || strings.ToLower(m) != "mark" {
+		return "", false
+	}
+	return key, true
+}
+
+func releaseCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	key, m, ok := arenaMethod(pass, call)
+	if !ok || strings.ToLower(m) != "release" {
+		return "", false
+	}
+	return key, true
+}
+
+// getCall matches arena slice handouts; unzeroed reports whether the
+// memory comes back with stale contents (GetUnzeroed, and i32Arena's plain
+// get). Zeroing handouts are Get/getZeroed.
+func getCall(pass *analysis.Pass, call *ast.CallExpr) (key string, unzeroed, ok bool) {
+	key, m, ok := arenaMethod(pass, call)
+	if !ok || !strings.HasPrefix(strings.ToLower(m), "get") {
+		return "", false, false
+	}
+	lower := strings.ToLower(m)
+	unzeroed = strings.Contains(lower, "unzeroed") || lower == "get" && m == "get"
+	return key, unzeroed, true
+}
+
+// isArenaType recognises arena allocators structurally: pointer method set
+// with mark/Mark() int and release/Release(int).
+func isArenaType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var hasMark, hasRelease bool
+	for i := 0; i < ms.Len(); i++ {
+		obj := ms.At(i).Obj()
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch strings.ToLower(obj.Name()) {
+		case "mark":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isInt(sig.Results().At(0).Type()) {
+				hasMark = true
+			}
+		case "release":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 0 && isInt(sig.Params().At(0).Type()) {
+				hasRelease = true
+			}
+		}
+	}
+	return hasMark && hasRelease
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// checkEscapes flags tracked arena slices (and arena handles) stored into
+// struct fields or returned, skipping nested closures and lines annotated
+// //hbbmc:allowescape.
+func checkEscapes(pass *analysis.Pass, scope funcScope, parents map[ast.Node]ast.Node, tracked map[*types.Var]*trackedVar, marks []markInfo) {
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			line := pass.Fset.Position(n.Pos()).Line
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if !isFieldStore(pass, lhs) {
+					continue
+				}
+				if scope.allow[line] {
+					continue
+				}
+				if tv := trackedExpr(pass, rhs, tracked, marks); tv != "" {
+					pass.Reportf(n.Pos(),
+						"arena slice %s stored into struct field %s escapes its mark/release window (annotate //hbbmc:allowescape <reason> if the store is reverted before release)",
+						tv, analysis.ExprKey(lhs))
+				} else if isArenaHandle(pass, rhs) {
+					pass.Reportf(n.Pos(),
+						"arena handle %s stored into struct field %s; arenas are owned by the scope that created them",
+						analysis.ExprKey(rhs), analysis.ExprKey(lhs))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tv := trackedExpr(pass, res, tracked, marks); tv != "" {
+					pass.Reportf(res.Pos(),
+						"arena slice %s returned past its mark/release window; the memory is recycled at release", tv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// trackedExpr reports the name of the tracked arena slice the expression
+// roots at ("" if none): a tracked identifier, a slice/index of one, or a
+// direct get call inside a marked window.
+func trackedExpr(pass *analysis.Pass, e ast.Expr, tracked map[*types.Var]*trackedVar, marks []markInfo) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if obj == nil {
+				return ""
+			}
+			if _, ok := tracked[obj]; ok {
+				return x.Name
+			}
+			return ""
+		case *ast.CallExpr:
+			if key, _, ok := getCall(pass, x); ok && markedBefore(marks, key, x.Pos()) {
+				return key + ".get result"
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// isFieldStore reports whether lhs writes through a struct field (x.f or
+// x.f[i] roots).
+func isFieldStore(pass *analysis.Pass, lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			s := pass.TypesInfo.Selections[x]
+			return s != nil && s.Kind() == types.FieldVal
+		default:
+			return false
+		}
+	}
+}
+
+// isArenaHandle reports whether e is a pre-existing arena value (ident or
+// selector), as opposed to a fresh construction.
+func isArenaHandle(pass *analysis.Pass, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isArenaType(tv.Type)
+}
+
+// checkReleases verifies every mark is balanced by a release on each exit
+// path after it.
+func checkReleases(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, marks []markInfo, releases []releaseInfo) {
+	for _, m := range marks {
+		var after []releaseInfo
+		deferred := false
+		for _, r := range releases {
+			if r.key != m.key {
+				continue
+			}
+			if r.deferred {
+				deferred = true
+			}
+			if r.pos > m.pos {
+				after = append(after, r)
+			}
+		}
+		if deferred {
+			continue
+		}
+		if len(after) == 0 {
+			pass.Reportf(m.Pos(), "%s is marked but never released on this path", m.key)
+			continue
+		}
+		// Every return after the mark needs a release earlier in one of its
+		// enclosing blocks (still after the mark).
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() < m.pos {
+				return true
+			}
+			if !releasedBeforeNode(ret, body, parents, after) {
+				pass.Reportf(ret.Pos(), "return without releasing %s (marked at line %d)",
+					m.key, pass.Fset.Position(m.pos).Line)
+			}
+			return true
+		})
+		// Falling off the end of the function: covered only when a release
+		// sits at the body's top level.
+		if !endsWithReturn(body) && !hasTopLevelRelease(body, after) {
+			pass.Reportf(m.Pos(), "%s may fall off the end of the function without a release", m.key)
+		}
+	}
+}
+
+func (m markInfo) Pos() token.Pos { return m.pos }
+
+// releasedBeforeNode climbs from the return through its enclosing blocks;
+// the mark is balanced if any statement preceding the return's chain in
+// one of those blocks contains a matching release.
+func releasedBeforeNode(ret ast.Node, body *ast.BlockStmt, parents map[ast.Node]ast.Node, releases []releaseInfo) bool {
+	child := ret
+	for {
+		parent := parents[child]
+		if parent == nil {
+			return false
+		}
+		var stmts []ast.Stmt
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			stmts = p.List
+		case *ast.CaseClause:
+			stmts = p.Body
+		case *ast.CommClause:
+			stmts = p.Body
+		}
+		for _, s := range stmts {
+			if s == child {
+				break
+			}
+			if stmtContainsRelease(s, releases) {
+				return true
+			}
+		}
+		if parent == ast.Node(body) {
+			return false
+		}
+		child = parent
+	}
+}
+
+func stmtContainsRelease(s ast.Stmt, releases []releaseInfo) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		for _, r := range releases {
+			if n == r.node {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func endsWithReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasTopLevelRelease(body *ast.BlockStmt, releases []releaseInfo) bool {
+	for _, s := range body.List {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			for _, r := range releases {
+				if es.X == r.node {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkFirstUse verifies the first use of an unzeroed arena slice is a
+// write, not a read of the stale contents.
+func checkFirstUse(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, tv *trackedVar) {
+	var first *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != tv.obj || id.Pos() <= tv.pos {
+			return true
+		}
+		if first == nil || id.Pos() < first.Pos() {
+			first = id
+		}
+		return true
+	})
+	if first == nil {
+		return
+	}
+	if !isWriteContext(pass, first, parents) {
+		pass.Reportf(first.Pos(),
+			"%s holds unzeroed arena memory but its first use reads it; overwrite it fully first (CopyFrom/AndInto*/indexed stores)",
+			tv.obj.Name())
+	}
+}
+
+// isWriteContext classifies the syntactic context of an identifier use as
+// writing (or at least not reading stale memory).
+func isWriteContext(pass *analysis.Pass, id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	parent := parents[id]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// Receiver of a method call: fine when the method overwrites.
+		if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+			return overwriteMethods[p.Sel.Name]
+		}
+		return false
+	case *ast.CallExpr:
+		// Passed as an argument: the callee decides; assume destination use.
+		for _, a := range p.Args {
+			if a == ast.Expr(id) {
+				return true
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		// s[i] — a write iff that index expression is an assignment target.
+		if assign, ok := parents[p].(*ast.AssignStmt); ok {
+			for _, l := range assign.Lhs {
+				if l == ast.Expr(p) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		// Whole-slice alias or reassignment; not a read of contents.
+		return true
+	case *ast.SliceExpr:
+		// Re-slicing into an assignment target is a write-side alias.
+		_, inAssign := parents[p].(*ast.AssignStmt)
+		return inAssign
+	case *ast.RangeStmt:
+		// Ranging over the slice reads every element.
+		return p.X != ast.Expr(id)
+	default:
+		return false
+	}
+}

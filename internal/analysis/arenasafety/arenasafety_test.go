@@ -1,0 +1,12 @@
+package arenasafety_test
+
+import (
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis/antest"
+	"github.com/graphmining/hbbmc/internal/analysis/arenasafety"
+)
+
+func TestArenaSafety(t *testing.T) {
+	antest.Run(t, "testdata/src", arenasafety.Analyzer, "arenasafetytest")
+}

@@ -1,0 +1,126 @@
+package arenasafetytest
+
+// Arena mimics bitset.Arena's shape: structural detection keys off the
+// Mark/Release method pair, not the package of origin.
+type Arena struct {
+	slab []uint64
+	used int
+}
+
+func (a *Arena) Mark() int             { return a.used }
+func (a *Arena) Release(m int)         { a.used = m }
+func (a *Arena) Get() []uint64         { return a.slab }
+func (a *Arena) GetUnzeroed() []uint64 { return a.slab }
+
+// Set mimics the bitset kernel surface.
+type Set []uint64
+
+func (s Set) CopyFrom(o Set)            {}
+func (s Set) AndIntoCount(a, b Set) int { return 0 }
+func (s Set) Count() int                { return 0 }
+
+type holder struct {
+	arena *Arena
+	row   []uint64
+	buf   []uint64
+}
+
+// good follows the full discipline: mark, overwrite-before-read, release
+// before every return.
+func (h *holder) good(n int) int {
+	m := h.arena.Mark()
+	tmp := h.arena.GetUnzeroed()
+	copy(tmp, h.row)
+	if n < 0 {
+		h.arena.Release(m)
+		return 0
+	}
+	total := len(tmp)
+	h.arena.Release(m)
+	return total
+}
+
+// goodDefer releases via defer, which covers every exit path.
+func (h *holder) goodDefer() int {
+	m := h.arena.Mark()
+	defer h.arena.Release(m)
+	tmp := h.arena.Get()
+	return len(tmp)
+}
+
+// goodSwap temporarily swings a scratch field at arena memory and declares
+// it; the directive documents that the store is reverted before release.
+func (h *holder) goodSwap() {
+	m := h.arena.Mark()
+	saved := h.buf
+	h.buf = h.arena.Get() //hbbmc:allowescape restored two lines down
+	h.buf = saved
+	h.arena.Release(m)
+}
+
+// preMarkGet obtains persistent rows before any mark; those are
+// session-lifetime handouts, not window-scoped scratch.
+func (h *holder) preMarkGet() {
+	h.row = h.arena.Get()
+}
+
+func (h *holder) leakField() {
+	m := h.arena.Mark()
+	h.row = h.arena.Get() // want `arena slice .* escapes its mark/release window`
+	h.arena.Release(m)
+}
+
+func (h *holder) leakReturn() []uint64 {
+	m := h.arena.Mark()
+	tmp := h.arena.Get()
+	h.arena.Release(m)
+	return tmp // want `arena slice tmp returned past its mark/release window`
+}
+
+func (h *holder) earlyReturn(n int) int {
+	m := h.arena.Mark()
+	tmp := h.arena.Get()
+	if n < 0 {
+		return 0 // want `return without releasing h.arena`
+	}
+	h.arena.Release(m)
+	return len(tmp)
+}
+
+func (h *holder) neverReleased() { // no release anywhere after the mark
+	m := h.arena.Mark() // want `h.arena is marked but never released`
+	_ = m
+	tmp := h.arena.Get()
+	copy(tmp, h.row)
+}
+
+func (h *holder) readBeforeOverwrite() int {
+	m := h.arena.Mark()
+	tmp := Set(nil)
+	_ = tmp
+	fold := h.arena.GetUnzeroed()
+	total := 0
+	for _, w := range fold { // want `fold holds unzeroed arena memory but its first use reads it`
+		total += int(w)
+	}
+	h.arena.Release(m)
+	return total
+}
+
+func (h *holder) overwriteFirstIsFine() int {
+	m := h.arena.Mark()
+	fold := h.arena.GetUnzeroed()
+	copy(fold, h.row)
+	total := len(fold)
+	h.arena.Release(m)
+	return total
+}
+
+// storeHandle migrates an arena handle itself into a struct field.
+type stash struct{ a *Arena }
+
+func (s *stash) steal(h *holder) {
+	m := h.arena.Mark()
+	defer h.arena.Release(m)
+	s.a = h.arena // want `arena handle h.arena stored into struct field`
+}

@@ -1,0 +1,139 @@
+// Package ctxpoll checks that long-running driver loops stay cancellable.
+//
+// Functions annotated //hbbmc:ctxpoll promise that every outermost loop in
+// their body polls a cancellation signal somewhere in its subtree:
+//
+//   - a call to a stop-latch method (halted, stopped — the runControl
+//     surface) or ctx.Err();
+//   - a channel receive (bare or in a select) from a done/gone/cancel/
+//     stop/ctx-named channel, e.g. <-ctx.Done(), <-clientGone;
+//   - an atomic load of a stop/cancel/halt flag (stop.Load()).
+//
+// Only outermost loops are checked: an inner per-vertex loop is bounded by
+// the work item, and demanding a poll per bit-row would put a branch in
+// the kernel. A poll anywhere in the outer loop's body (including inside
+// nested loops) satisfies it. Function literals are skipped — a worker
+// body defined inline is a separate loop governed by its own function's
+// annotation. The directive on a function with no loops at all is flagged
+// as stale.
+package ctxpoll
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+)
+
+// Analyzer is the ctxpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "//hbbmc:ctxpoll loops must poll the stop latch or ctx",
+	Run:  run,
+}
+
+// pollMethods are stop-latch calls (runControl and context surfaces).
+var pollMethods = map[string]bool{
+	"halted": true, "Halted": true,
+	"stopped": true, "Stopped": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncDirective(fn, "ctxpoll") {
+				continue
+			}
+			if !checkLoops(pass, fn.Body) {
+				pass.Reportf(fn.Name.Pos(),
+					"%s carries //hbbmc:ctxpoll but contains no loops; drop the directive", fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLoops reports non-polling outermost loops and returns whether any
+// loop was found.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			found = true
+			if !polls(pass, n.Body) && !condPolls(pass, n.Cond) {
+				pass.Reportf(n.Pos(),
+					"loop does not poll the stop latch or ctx; a cancelled run would spin here until completion")
+			}
+			return false // outermost only
+		case *ast.RangeStmt:
+			found = true
+			if !polls(pass, n.Body) {
+				pass.Reportf(n.Pos(),
+					"loop does not poll the stop latch or ctx; a cancelled run would spin here until completion")
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func condPolls(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	return pollsExpr(pass, cond)
+}
+
+func polls(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	return pollsExpr(pass, body)
+}
+
+func pollsExpr(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				recv := strings.ToLower(analysis.ExprKey(sel.X))
+				switch {
+				case pollMethods[name]:
+					found = true
+				case name == "Err" && strings.Contains(recv, "ctx"):
+					found = true
+				case name == "Load" && containsAny(recv, "stop", "cancel", "halt", "done"):
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				key := strings.ToLower(analysis.ExprKey(n.X))
+				if containsAny(key, "done", "gone", "cancel", "stop", "ctx", "halt") {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis/antest"
+	"github.com/graphmining/hbbmc/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	antest.Run(t, "testdata/src", ctxpoll.Analyzer, "ctxpolltest")
+}

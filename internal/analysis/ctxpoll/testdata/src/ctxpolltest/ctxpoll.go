@@ -1,0 +1,109 @@
+package ctxpolltest
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type rc struct{ stop atomic.Bool }
+
+func (r *rc) halted() bool { return r.stop.Load() }
+
+type driver struct {
+	rc    *rc
+	items []int
+}
+
+func (d *driver) work(i int) {}
+
+// goodLatch polls the stop latch once per item; inner loops ride on the
+// outer poll.
+//
+//hbbmc:ctxpoll
+func (d *driver) goodLatch() {
+	for i := range d.items {
+		if d.rc.halted() {
+			return
+		}
+		for j := 0; j < i; j++ {
+			d.work(j)
+		}
+	}
+}
+
+// goodCtx polls via the context's done channel in a select.
+//
+//hbbmc:ctxpoll
+func (d *driver) goodCtx(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			d.work(v)
+		}
+	}
+}
+
+// goodAtomic polls a raw stop flag.
+//
+//hbbmc:ctxpoll
+func (d *driver) goodAtomic(stop *atomic.Bool) {
+	for i := range d.items {
+		if stop.Load() {
+			return
+		}
+		d.work(i)
+	}
+}
+
+// goodCondPoll polls in the loop condition itself.
+//
+//hbbmc:ctxpoll
+func (d *driver) goodCondPoll() {
+	for !d.rc.halted() {
+		d.work(0)
+	}
+}
+
+//hbbmc:ctxpoll
+func (d *driver) badSpin() {
+	for i := range d.items { // want `loop does not poll the stop latch or ctx`
+		d.work(i)
+	}
+}
+
+//hbbmc:ctxpoll
+func (d *driver) badInfinite(in <-chan int) {
+	for { // want `loop does not poll the stop latch or ctx`
+		v := <-in
+		d.work(v)
+	}
+}
+
+// badWorkerLit: the closure's loop does not inherit the enclosing
+// function's annotation, but the enclosing range loop still needs a poll.
+//
+//hbbmc:ctxpoll
+func (d *driver) badWorkerLit() {
+	for range d.items { // want `loop does not poll the stop latch or ctx`
+		f := func() {
+			for !d.rc.halted() {
+				d.work(0)
+			}
+		}
+		f()
+	}
+}
+
+//hbbmc:ctxpoll
+func (d *driver) stale() int { // want `stale carries //hbbmc:ctxpoll but contains no loops`
+	return len(d.items)
+}
+
+// unannotated loops are not checked.
+func (d *driver) unannotated() {
+	for i := range d.items {
+		d.work(i)
+	}
+}

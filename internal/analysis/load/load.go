@@ -1,0 +1,279 @@
+// Package load type-checks Go packages for the mcelint analyzers without
+// golang.org/x/tools/go/packages.
+//
+// The trick that makes this work offline: `go list -export -deps -json`
+// emits, for every package in the build graph, the path of its compiled
+// export data in the build cache. The standard library's gc importer
+// (go/importer.ForCompiler with a lookup function) can read those files
+// directly, so only the target packages' sources are parsed and
+// type-checked; every dependency — stdlib included — is imported from
+// export data exactly as the compiler itself would.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one fully type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Match      []string
+	Error      *struct{ Err string }
+}
+
+// exportLookup adapts a map of importpath -> export-data file to the
+// signature go/importer.ForCompiler wants.
+type exportLookup struct {
+	exports map[string]string
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// unsafeAwareImporter routes "unsafe" to types.Unsafe (it has no export
+// data) and everything else to the gc export-data importer.
+type unsafeAwareImporter struct {
+	gc types.ImporterFrom
+}
+
+func (u *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+// goList runs `go list` with the given flags and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads and type-checks the packages matching patterns in dir
+// (the module root; "" means the current directory). Test files are not
+// included, matching `go build` granularity.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One invocation yields both the target set (Match is non-empty on
+	// packages named by the patterns) and export data for every dependency.
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,Match,Error"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Error != nil && len(p.Match) > 0 {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.Match) > 0 && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := &unsafeAwareImporter{
+		gc: importer.ForCompiler(fset, "gc", (&exportLookup{exports}).lookup).(types.ImporterFrom),
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// FixtureLoader type-checks analyzer test fixtures laid out GOPATH-style
+// under root: root/<importpath>/*.go. Fixture packages may import each
+// other (resolved from source) and the standard library (resolved from
+// export data fetched lazily via `go list`).
+type FixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	exports map[string]string
+	imp     types.ImporterFrom
+}
+
+// NewFixtureLoader returns a loader rooted at the given testdata/src dir.
+func NewFixtureLoader(root string) *FixtureLoader {
+	l := &FixtureLoader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*Package{},
+		exports: map[string]string{},
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", (&exportLookup{l.exports}).lookup).(types.ImporterFrom)
+	return l
+}
+
+// Load type-checks the fixture package at root/<path>.
+func (l *FixtureLoader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: fixture %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(ip string) (*types.Package, error) {
+		return l.importPath(ip)
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %s: %v", path, err)
+	}
+	p := &Package{ImportPath: path, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, TypesInfo: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *FixtureLoader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	// Sibling fixture package?
+	if fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	// Standard library: resolve export data on first use.
+	if _, ok := l.exports[path]; !ok {
+		listed, err := goList("", "list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Error", path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return l.imp.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

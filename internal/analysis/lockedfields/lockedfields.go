@@ -1,0 +1,456 @@
+// Package lockedfields enforces mutex guardianship declared on struct
+// fields:
+//
+//	mu    sync.Mutex
+//	//hbbmc:guardedby mu
+//	state JobState
+//
+// Every read or write of a guarded field must occur while the declaring
+// struct's named mutex is held. The analyzer tracks lock state through each
+// function body with a small intraprocedural walk: Lock/RLock on an
+// expression ("j.mu", "jm.mu") adds that key to the held set, Unlock/RUnlock
+// removes it, `defer mu.Unlock()` pins it for the rest of the function, and
+// at control-flow joins (if/else, switch, select) the held set is the
+// intersection of the branches that fall through — branches ending in
+// return/panic/break/continue don't constrain the join.
+//
+// Two idioms are recognised as already-locked entry points: functions whose
+// name ends in "Locked" (the repo's convention for helpers that require the
+// caller to hold the receiver's mutex) and functions annotated
+// //hbbmc:locked. For those, every mutex field of the receiver is assumed
+// held on entry.
+//
+// Composite-literal construction (&Job{state: ...}) writes fields of a
+// value no other goroutine can reach yet, so literal keys are exempt (they
+// are not SelectorExprs and never match). Function literals are analysed
+// as separate bodies with an empty held set — a goroutine does not inherit
+// its creator's critical section.
+package lockedfields
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+)
+
+// Analyzer is the lockedfields pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedfields",
+	Doc:  "//hbbmc:guardedby fields may only be accessed under their mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: guards, reported: map[*ast.SelectorExpr]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each guarded field object to the name of its mutex
+// field, validating that the struct actually has a field of that name.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := analysis.Directive("guardedby", field.Doc, field.Comment)
+				if !ok {
+					continue
+				}
+				if mu == "" || !fieldNames[mu] {
+					pass.Reportf(field.Pos(),
+						"//hbbmc:guardedby names %q, which is not a field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	guards   map[*types.Var]string
+	reported map[*ast.SelectorExpr]bool
+}
+
+// held is the set of mutex keys ("j.mu") currently locked on this path.
+type held map[string]bool
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func intersect(a, b held) held {
+	out := held{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	state := held{}
+	if recv := analysis.ReceiverName(fn); recv != "" && c.entersLocked(fn) {
+		for _, mu := range c.receiverMutexes(fn) {
+			state[recv+"."+mu] = true
+		}
+	}
+	c.walkBody(fn.Body.List, state)
+}
+
+// entersLocked reports whether the function's contract is "caller holds the
+// lock": the *Locked name suffix or an explicit //hbbmc:locked directive.
+func (c *checker) entersLocked(fn *ast.FuncDecl) bool {
+	return strings.HasSuffix(fn.Name.Name, "Locked") || analysis.FuncDirective(fn, "locked")
+}
+
+// receiverMutexes lists the mutex field names guarding any field of the
+// receiver's struct type.
+func (c *checker) receiverMutexes(fn *ast.FuncDecl) []string {
+	obj := c.pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if mu, ok := c.guards[st.Field(i)]; ok && !seen[mu] {
+			seen[mu] = true
+			out = append(out, mu)
+		}
+	}
+	return out
+}
+
+// walkBody walks statements sequentially, mutating state, and reports
+// whether the sequence terminates abruptly (return/panic/branch).
+func (c *checker) walkBody(stmts []ast.Stmt, state held) (terminated bool) {
+	for _, s := range stmts {
+		if c.walkStmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, state held) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, state)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if c.applyLockOp(call, state) {
+				return false
+			}
+			if isPanic(call) {
+				return true
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() pins the lock for the function's remainder;
+		// other defers are inspected for guarded accesses in their args.
+		if _, op, ok := lockOp(c.pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return false // held until function exit; leave state untouched
+		}
+		c.checkExpr(s.Call, state)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, state)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, state)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, state)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, state)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.checkExpr(s.Cond, state)
+		thenState := state.clone()
+		thenTerm := c.walkBody(s.Body.List, thenState)
+		elseState := state.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseState)
+		}
+		c.join(state, thenState, thenTerm, elseState, elseTerm)
+		return thenTerm && elseTerm && s.Else != nil
+	case *ast.BlockStmt:
+		return c.walkBody(s.List, state)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, state)
+		}
+		bodyState := state.clone()
+		c.walkBody(s.Body.List, bodyState)
+		if s.Post != nil {
+			c.walkStmt(s.Post, bodyState)
+		}
+		// The loop body may run zero times; keep only locks held both ways.
+		merge := intersect(state, bodyState)
+		replace(state, merge)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, state)
+		bodyState := state.clone()
+		c.walkBody(s.Body.List, bodyState)
+		merge := intersect(state, bodyState)
+		replace(state, merge)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, state)
+		}
+		c.walkClauses(s.Body.List, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.walkStmt(s.Assign, state)
+		c.walkClauses(s.Body.List, state)
+	case *ast.SelectStmt:
+		c.walkClauses(s.Body.List, state)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, state)
+	case *ast.GoStmt:
+		// The goroutine runs outside this critical section; its FuncLit (if
+		// any) is analysed with an empty held set via checkExpr.
+		c.checkExpr(s.Call, state)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, state)
+		c.checkExpr(s.Value, state)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkExpr(e, state)
+				return false
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// walkClauses analyses each case body from a clone of the entry state and
+// joins the fall-through branches by intersection.
+func (c *checker) walkClauses(clauses []ast.Stmt, state held) {
+	var outs []held
+	hasDefault := false
+	for _, cl := range clauses {
+		cs := state.clone()
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.checkExpr(e, cs)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(cl.Comm, cs)
+			}
+			body = cl.Body
+		}
+		if !c.walkBody(body, cs) {
+			outs = append(outs, cs)
+		}
+	}
+	if !hasDefault {
+		// A switch with no default can match nothing and fall through with
+		// the entry state intact.
+		outs = append(outs, state.clone())
+	}
+	if len(outs) == 0 {
+		return // every branch terminated
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	replace(state, merged)
+}
+
+func (c *checker) join(state, thenState held, thenTerm bool, elseState held, elseTerm bool) {
+	switch {
+	case thenTerm && elseTerm:
+		// Both branches terminated; code after is reachable only when the
+		// else was absent — state unchanged handled by caller.
+	case thenTerm:
+		replace(state, elseState)
+	case elseTerm:
+		replace(state, thenState)
+	default:
+		replace(state, intersect(thenState, elseState))
+	}
+}
+
+func replace(dst, src held) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// applyLockOp mutates state for mu.Lock/Unlock calls; returns true if the
+// call was a lock operation.
+func (c *checker) applyLockOp(call *ast.CallExpr, state held) bool {
+	key, op, ok := lockOp(c.pass, call)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "Lock", "RLock":
+		state[key] = true
+	case "Unlock", "RUnlock":
+		delete(state, key)
+	}
+	return true
+}
+
+// lockOp matches calls to Lock/Unlock/RLock/RUnlock on a sync.Mutex or
+// sync.RWMutex-typed expression and returns the receiver's textual key.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okType := pass.TypesInfo.Types[sel.X]
+	if !okType || !isMutexType(tv.Type) {
+		return "", "", false
+	}
+	return analysis.ExprKey(sel.X), sel.Sel.Name, true
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkExpr reports guarded-field accesses in e not covered by state, and
+// analyses any function literals with a fresh empty held set.
+func (c *checker) checkExpr(e ast.Expr, state held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.walkBody(lit.Body.List, held{})
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := c.pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := c.guards[field]
+		if !guarded || c.reported[sel] {
+			return true
+		}
+		key := analysis.ExprKey(sel.X) + "." + mu
+		if !state[key] {
+			c.reported[sel] = true
+			c.pass.Reportf(sel.Sel.Pos(),
+				"%s is guarded by %s but accessed without holding it",
+				analysis.ExprKey(sel), key)
+		}
+		return true
+	})
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,12 @@
+package lockedfields_test
+
+import (
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis/antest"
+	"github.com/graphmining/hbbmc/internal/analysis/lockedfields"
+)
+
+func TestLockedFields(t *testing.T) {
+	antest.Run(t, "testdata/src", lockedfields.Analyzer, "lockedfieldstest")
+}

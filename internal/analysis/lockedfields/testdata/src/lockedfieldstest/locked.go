@@ -1,0 +1,121 @@
+package lockedfieldstest
+
+import "sync"
+
+type job struct {
+	id string // unguarded; free to read anywhere
+
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	state string
+	//hbbmc:guardedby mu
+	count int
+}
+
+// good locks around every guarded access, across branches and defers.
+func (j *job) good(n int) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > 0 {
+		j.count += n
+	}
+	return j.state
+}
+
+// goodBranches unlocks in both arms; accesses stay inside the window.
+func (j *job) goodBranches(ok bool) string {
+	_ = j.id
+	j.mu.Lock()
+	if ok {
+		s := j.state
+		j.mu.Unlock()
+		return s
+	}
+	j.count++
+	j.mu.Unlock()
+	return ""
+}
+
+// setLocked follows the *Locked suffix convention: the caller holds j.mu.
+func (j *job) setLocked(s string) {
+	j.state = s
+	j.count++
+}
+
+//hbbmc:locked
+func (j *job) bumpHeld() {
+	j.count++
+}
+
+// constructor writes happen before the value is shared; composite keys are
+// exempt by design.
+func newJob(id string) *job {
+	return &job{id: id, state: "queued"}
+}
+
+func (j *job) badUnlocked() string {
+	return j.state // want `j.state is guarded by j.mu but accessed without holding it`
+}
+
+func (j *job) badAfterUnlock() {
+	j.mu.Lock()
+	j.state = "running"
+	j.mu.Unlock()
+	j.count++ // want `j.count is guarded by j.mu but accessed without holding it`
+}
+
+// badBranch unlocks in one arm only; the join must drop the lock.
+func (j *job) badBranch(ok bool) {
+	j.mu.Lock()
+	if ok {
+		j.mu.Unlock()
+	}
+	j.state = "x" // want `j.state is guarded by j.mu but accessed without holding it`
+}
+
+// badGoroutine: the spawned goroutine does not inherit the critical
+// section.
+func (j *job) badGoroutine() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	go func() {
+		j.count++ // want `j.count is guarded by j.mu but accessed without holding it`
+	}()
+}
+
+// badNotLockedSuffix has no Locked suffix and no lock of its own.
+func (j *job) bump() {
+	j.count++ // want `j.count is guarded by j.mu but accessed without holding it`
+}
+
+type registry struct {
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	entries map[string]*job
+}
+
+// goodSwitch keeps the lock through a switch join.
+func (r *registry) goodSwitch(k string, mode int) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch mode {
+	case 0:
+		return r.entries[k]
+	case 1:
+		delete(r.entries, k)
+	}
+	return r.entries[k]
+}
+
+// wrongMutex locks a different instance's mutex.
+func (r *registry) wrongMutex(other *registry, k string) *job {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	return r.entries[k] // want `r.entries is guarded by r.mu but accessed without holding it`
+}
+
+type badDecl struct {
+	mu sync.Mutex
+	//hbbmc:guardedby lock
+	x int // want `//hbbmc:guardedby names "lock", which is not a field of this struct`
+}

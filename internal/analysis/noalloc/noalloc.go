@@ -1,0 +1,398 @@
+// Package noalloc rejects heap allocations in functions annotated
+// //hbbmc:noalloc — the machine-checked form of PR 4's "allocation-free
+// recursion" claim. The check is syntactic but encodes the gc escape
+// analysis facts that matter on the hot path:
+//
+//   - make/new always allocate; so do slice and map composite literals and
+//     address-taken composite literals (&T{...});
+//   - value struct/array composites do not allocate (they live in
+//     registers or the frame), so they are permitted;
+//   - a func literal allocates iff it captures variables from the
+//     enclosing function; non-capturing literals compile to static
+//     functions and are permitted. Method values (x.m used as a func
+//     value) always allocate their receiver binding;
+//   - append may only grow caller-owned or engine-owned memory: its first
+//     argument must root at a struct field selector, a parameter, or a
+//     local derived from one of those (or from a call — arenas and
+//     kernels return recycled memory). Appending to a fresh local slice
+//     is a hidden make;
+//   - converting a non-pointer-shaped value (int, struct, slice, string)
+//     to an interface boxes it, whether via an explicit conversion, an
+//     argument to an interface-typed parameter (fmt.Errorf on the hot
+//     path fails here), or a variadic ...any;
+//   - string<->[]byte/[]rune conversions copy; string concatenation of
+//     non-constants allocates; go statements allocate a goroutine.
+//
+// The directive governs only the annotated function's own body: callees
+// are gated by their own annotations. Amortised grow paths (the
+// cap-guarded make-and-copy idiom) are sanctioned with
+// `//hbbmc:allowalloc <reason>` on the guarding statement's first line,
+// which suppresses findings in that whole statement.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//hbbmc:noalloc functions must not contain heap allocations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		allowLines := analysis.DirectiveLines(pass.Fset, f, "allowalloc")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncDirective(fn, "noalloc") {
+				continue
+			}
+			check(pass, fn, allowLines)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	fn      *ast.FuncDecl
+	parents map[ast.Node]ast.Node
+	allow   map[int]bool
+	blessed map[*types.Var]bool
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl, allowLines map[int]bool) {
+	c := &checker{
+		pass:    pass,
+		fn:      fn,
+		parents: analysis.Parents(fn),
+		allow:   allowLines,
+		blessed: map[*types.Var]bool{},
+	}
+	c.blessParamsAndLocals()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkFuncLit(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		}
+		return true
+	})
+}
+
+// report emits unless an //hbbmc:allowalloc directive line covers one of
+// the node's enclosing statements (so a directive on an `if cap(...) < n`
+// guard sanctions the whole grow block).
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.suppressed(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format+" in //hbbmc:noalloc function %s", append(args, c.fn.Name.Name)...)
+}
+
+func (c *checker) suppressed(pos token.Pos) bool {
+	if c.allow[c.pass.Fset.Position(pos).Line] {
+		return true
+	}
+	// Climb to enclosing statements; any whose first line carries the
+	// directive sanctions the subtree.
+	for n := c.nodeAt(pos); n != nil; n = c.parents[n] {
+		if _, ok := n.(ast.Stmt); ok {
+			if c.allow[c.pass.Fset.Position(n.Pos()).Line] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeAt finds a node starting at pos (the one the violation was reported
+// on) so suppressed can climb its parent chain.
+func (c *checker) nodeAt(pos token.Pos) ast.Node {
+	var found ast.Node
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if n == nil || found != nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			if n.Pos() == pos {
+				found = n
+			}
+			return true
+		}
+		return false
+	})
+	return found
+}
+
+// blessParamsAndLocals marks append-legal slice roots: the receiver,
+// parameters, and locals initialised from fields, parameters, calls
+// (arena handouts), or other blessed locals.
+func (c *checker) blessParamsAndLocals() {
+	blessField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					c.blessed[v] = true
+				}
+			}
+		}
+	}
+	blessField(c.fn.Recv)
+	blessField(c.fn.Type.Params)
+	blessField(c.fn.Type.Results)
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := assign.Rhs[i]
+			// x = append(y, ...) blesses x only through y's ownership —
+			// letting the call result bless it would make every append
+			// self-sanctioning.
+			if call, isCall := rhs.(*ast.CallExpr); isCall {
+				if fid, isId := call.Fun.(*ast.Ident); isId && fid.Name == "append" {
+					if _, isB := c.pass.TypesInfo.Uses[fid].(*types.Builtin); isB {
+						if len(call.Args) == 0 || !c.ownedExpr(call.Args[0]) {
+							continue
+						}
+					}
+				}
+			}
+			if !c.ownedExpr(rhs) {
+				continue
+			}
+			if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				c.blessed[v] = true
+			} else if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				c.blessed[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// ownedExpr reports whether e denotes memory the function may grow or
+// alias without allocating: field selectors, blessed identifiers, calls
+// (arena handouts / kernel returns), and derivations thereof.
+func (c *checker) ownedExpr(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+			return false
+		case *ast.SelectorExpr:
+			return true
+		case *ast.CallExpr:
+			return true
+		case *ast.Ident:
+			v, ok := c.pass.TypesInfo.Uses[x].(*types.Var)
+			return ok && c.blessed[v]
+		default:
+			return false
+		}
+	}
+}
+
+// checkFuncLit flags literals that capture enclosing-function variables.
+func (c *checker) checkFuncLit(lit *ast.FuncLit) {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal. Package-level vars and the literal's own locals are fine.
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		c.report(lit.Pos(), "func literal captures %q and allocates a closure", captured)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.report(call.Pos(), "make allocates")
+			case "new":
+				c.report(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !c.ownedExpr(call.Args[0]) {
+					c.report(call.Pos(),
+						"append to %s, which is not rooted in a field, parameter, or arena handout",
+						analysis.ExprKey(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	// Explicit conversions.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type, call.Args[0])
+		return
+	}
+	// Interface-typed parameters box concrete arguments; func-typed
+	// parameters receiving method values allocate the binding.
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+		if pt == nil {
+			continue
+		}
+		at := c.pass.TypesInfo.Types[arg]
+		if types.IsInterface(pt.Underlying()) && !types.IsInterface(at.Type.Underlying()) &&
+			!at.IsNil() && !pointerShaped(at.Type) {
+			c.report(arg.Pos(), "argument %s boxes a %s into interface parameter",
+				analysis.ExprKey(arg), at.Type.String())
+		}
+		if sel, isSel := arg.(*ast.SelectorExpr); isSel {
+			if s := c.pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				c.report(arg.Pos(), "method value %s allocates its receiver binding",
+					analysis.ExprKey(arg))
+			}
+		}
+	}
+}
+
+// paramType resolves the i'th parameter's type, unwrapping variadics
+// (unless the call spreads with ...).
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 && !hasEllipsis {
+		return sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without boxing (pointers, maps, chans, funcs, unsafe.Pointer).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type, arg ast.Expr) {
+	at := c.pass.TypesInfo.Types[arg]
+	if at.Value != nil { // constant-folded; no runtime conversion
+		return
+	}
+	tu := target.Underlying()
+	au := at.Type.Underlying()
+	if types.IsInterface(tu) && !types.IsInterface(au) && !pointerShaped(at.Type) {
+		c.report(call.Pos(), "conversion boxes %s into %s", at.Type.String(), target.String())
+		return
+	}
+	if isString(tu) && isByteOrRuneSlice(au) || isByteOrRuneSlice(tu) && isString(au) {
+		c.report(call.Pos(), "string<->slice conversion copies")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func (c *checker) checkComposite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+		return
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+		return
+	}
+	if u, ok := c.parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		c.report(u.Pos(), "address-taken composite literal escapes to the heap")
+	}
+}
+
+func (c *checker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv := c.pass.TypesInfo.Types[b]
+	if tv.Value != nil { // constant concatenation
+		return
+	}
+	if isString(tv.Type.Underlying()) {
+		c.report(b.Pos(), "string concatenation allocates")
+	}
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis/antest"
+	"github.com/graphmining/hbbmc/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	antest.Run(t, "testdata/src", noalloc.Analyzer, "noalloctest")
+}

@@ -1,0 +1,107 @@
+package noalloctest
+
+type pair struct{ a, b int32 }
+
+type engine struct {
+	buf   []int32
+	cnt   []int32
+	name  string
+	sinkP *pair
+}
+
+func (e *engine) work() {}
+
+func use(x interface{})  { _ = x }
+func useP(x *pair)       { _ = x }
+func take(f func())      { _ = f }
+func kernel(dst []int32) { _ = dst }
+func handout() []int32   { return nil }
+
+// good exercises every sanctioned pattern: field-rooted appends, blessed
+// locals, value composites, non-capturing literals, amortised growth.
+//
+//hbbmc:noalloc
+func (e *engine) good(p []int32, n int) {
+	local := e.buf[:0]
+	for _, v := range p {
+		local = append(local, v)
+	}
+	e.buf = local
+	e.cnt = append(e.cnt, int32(len(p)))
+	q := pair{1, 2}
+	_ = q
+	g := func(x int32) int32 { return x + 1 }
+	_ = g(3)
+	if cap(e.cnt) < n { //hbbmc:allowalloc amortised growth, cap-guarded
+		e.cnt = make([]int32, n)
+	}
+	h := handout()
+	h = append(h, 9)
+	_ = h
+	useP(e.sinkP)
+	kernel(p[1:])
+}
+
+//hbbmc:noalloc
+func (e *engine) badMake(n int) []int32 {
+	tmp := make([]int32, n) // want `make allocates`
+	return tmp
+}
+
+//hbbmc:noalloc
+func (e *engine) badFreshAppend() {
+	var fresh []int32
+	fresh = append(fresh, 1) // want `append to fresh, which is not rooted`
+	_ = fresh
+}
+
+//hbbmc:noalloc
+func (e *engine) badClosure() {
+	f := func() { _ = e.buf } // want `func literal captures "e" and allocates a closure`
+	f()
+}
+
+//hbbmc:noalloc
+func (e *engine) badBox(v int32) {
+	use(v) // want `argument v boxes a int32 into interface parameter`
+}
+
+//hbbmc:noalloc
+func (e *engine) badMethodValue() {
+	take(e.work) // want `method value e.work allocates its receiver binding`
+}
+
+//hbbmc:noalloc
+func (e *engine) badSliceLit(a, b int32) int32 {
+	total := int32(0)
+	for _, w := range []int32{a, b} { // want `slice literal allocates`
+		total += w
+	}
+	return total
+}
+
+//hbbmc:noalloc
+func (e *engine) badAddrComposite() {
+	e.sinkP = &pair{1, 2} // want `address-taken composite literal escapes`
+}
+
+//hbbmc:noalloc
+func (e *engine) badConcat(s string) string {
+	return e.name + s // want `string concatenation allocates`
+}
+
+//hbbmc:noalloc
+func (e *engine) badGo() {
+	go e.work() // want `go statement allocates a goroutine`
+}
+
+//hbbmc:noalloc
+func (e *engine) badStringConv(s string) int {
+	b := []byte(s) // want `string<->slice conversion copies`
+	return len(b)
+}
+
+// unannotated may allocate freely; the directive is opt-in.
+func (e *engine) unannotated(n int) []int32 {
+	return make([]int32, n)
+}

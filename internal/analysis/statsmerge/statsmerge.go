@@ -1,0 +1,241 @@
+// Package statsmerge checks that every numeric field of a stats-like
+// struct is folded into its merge method and exposed on the JSON surface.
+//
+// A struct participates when it has a method named merge (or Merge) whose
+// single parameter is a pointer to the same struct — the shape of
+// (*core.Stats).merge, which parallel runs use to fold per-worker counters
+// into the coordinator's totals. For each such struct the analyzer
+// requires, for every field:
+//
+//   - a json struct tag (the service and CLI marshal Stats directly);
+//   - numeric fields (ints, floats, time.Duration) must be read or written
+//     somewhere in the merge body, or carry an explicit
+//     `//hbbmc:nomerge <reason>` directive for coordinator-owned fields
+//     that are set once after the workers join;
+//   - a field carrying //hbbmc:nomerge must NOT appear in merge — a stale
+//     directive is as wrong as a missing merge line.
+//
+// The struct's type must also have a String method, the human-readable
+// surface the CLI prints.
+package statsmerge
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+
+	"github.com/graphmining/hbbmc/internal/analysis"
+)
+
+// Analyzer is the statsmerge pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsmerge",
+	Doc:  "numeric stats fields must be merged, json-tagged, and printed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, merge := range mergeMethods(pass) {
+		checkStruct(pass, merge)
+	}
+	return nil
+}
+
+// mergeTarget pairs one merge method with the struct type it folds.
+type mergeTarget struct {
+	fn    *ast.FuncDecl
+	named *types.Named
+}
+
+// mergeMethods finds every func (x *T) merge(o *T) / Merge(o *T) in the
+// package where T's underlying type is a struct.
+func mergeMethods(pass *analysis.Pass) []mergeTarget {
+	var out []mergeTarget
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || (fn.Name.Name != "merge" && fn.Name.Name != "Merge") {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Params().Len() != 1 {
+				continue
+			}
+			recv := derefNamed(sig.Recv().Type())
+			arg := derefNamed(sig.Params().At(0).Type())
+			if recv == nil || recv != arg {
+				continue
+			}
+			if _, ok := recv.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			out = append(out, mergeTarget{fn: fn, named: recv})
+		}
+	}
+	return out
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func checkStruct(pass *analysis.Pass, target mergeTarget) {
+	spec := structSpec(pass, target.named)
+	if spec == nil {
+		return // struct declared in another package; nothing to check here
+	}
+	st := spec.Type.(*ast.StructType)
+	touched := fieldsTouched(pass, target)
+
+	jsonNames := map[string]*ast.Ident{}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			checkField(pass, target, field, name, touched, jsonNames)
+		}
+	}
+
+	if !hasStringMethod(target.named) {
+		pass.Reportf(spec.Name.Pos(),
+			"%s has a merge method but no String method; add the human-readable surface",
+			target.named.Obj().Name())
+	}
+}
+
+// structSpec locates the AST TypeSpec declaring the named struct, or nil if
+// it lives outside the package under analysis.
+func structSpec(pass *analysis.Pass, named *types.Named) *ast.TypeSpec {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if pass.TypesInfo.Defs[ts.Name] == named.Obj() {
+					if _, ok := ts.Type.(*ast.StructType); ok {
+						return ts
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsTouched collects the names of the struct's fields referenced
+// anywhere in the merge body, on either the receiver or the argument.
+func fieldsTouched(pass *analysis.Pass, target mergeTarget) map[string]bool {
+	touched := map[string]bool{}
+	ast.Inspect(target.fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if derefNamed(s.Recv()) == target.named {
+			touched[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return touched
+}
+
+func checkField(pass *analysis.Pass, target mergeTarget, field *ast.Field, name *ast.Ident, touched map[string]bool, jsonNames map[string]*ast.Ident) {
+	typeName := target.named.Obj().Name()
+
+	tag := jsonTag(field)
+	switch {
+	case tag == "":
+		pass.Reportf(name.Pos(),
+			"field %s.%s has no json tag; every merged-stats field must be on the JSON surface",
+			typeName, name.Name)
+	case tag == "-":
+		// Explicitly excluded from JSON; accepted as a deliberate choice.
+	default:
+		if prev, dup := jsonNames[tag]; dup {
+			pass.Reportf(name.Pos(),
+				"field %s.%s reuses json tag %q already used by %s", typeName, name.Name, tag, prev.Name)
+		}
+		jsonNames[tag] = name
+	}
+
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil || !isNumeric(obj.Type()) {
+		return
+	}
+	_, nomerge := analysis.Directive("nomerge", field.Doc, field.Comment)
+	merged := touched[name.Name]
+	switch {
+	case nomerge && merged:
+		pass.Reportf(name.Pos(),
+			"field %s.%s carries //hbbmc:nomerge but IS referenced in %s; drop the stale directive",
+			typeName, name.Name, target.fn.Name.Name)
+	case !nomerge && !merged:
+		pass.Reportf(name.Pos(),
+			"numeric field %s.%s is not folded in %s; parallel runs will drop it (merge it or annotate //hbbmc:nomerge <reason>)",
+			typeName, name.Name, target.fn.Name.Name)
+	}
+}
+
+// jsonTag extracts the json tag's name component, or "" when absent.
+func jsonTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	tag := reflect.StructTag(raw).Get("json")
+	if tag == "" {
+		return ""
+	}
+	for i := 0; i < len(tag); i++ {
+		if tag[i] == ',' {
+			return tag[:i]
+		}
+	}
+	return tag
+}
+
+// isNumeric reports whether t's core type is an integer, float, or complex
+// (covering time.Duration via its int64 underlying).
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// hasStringMethod reports whether *T or T has String() string.
+func hasStringMethod(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i)
+		if m.Obj().Name() != "String" {
+			continue
+		}
+		sig, ok := m.Obj().Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package statsmerge_test
+
+import (
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/analysis/antest"
+	"github.com/graphmining/hbbmc/internal/analysis/statsmerge"
+)
+
+func TestStatsMerge(t *testing.T) {
+	antest.Run(t, "testdata/src", statsmerge.Analyzer, "statsmergetest")
+}

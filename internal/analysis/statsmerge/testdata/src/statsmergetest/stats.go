@@ -1,0 +1,48 @@
+package statsmergetest
+
+import "time"
+
+// GoodStats merges every numeric field and excuses the coordinator-owned
+// one with an explicit directive.
+type GoodStats struct {
+	Cliques int64         `json:"cliques"`
+	Max     int           `json:"max"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	//hbbmc:nomerge set once by the coordinator after the workers join
+	Workers int    `json:"workers"`
+	Label   string `json:"label"`
+}
+
+func (s *GoodStats) merge(o *GoodStats) {
+	s.Cliques += o.Cliques
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Elapsed += o.Elapsed
+}
+
+func (s *GoodStats) String() string { return "good" }
+
+type BadStats struct { // want `BadStats has a merge method but no String method`
+	Merged  int64 `json:"merged"`
+	Dropped int64 `json:"dropped"` // want `numeric field BadStats.Dropped is not folded`
+	NoTag   int   // want `field BadStats.NoTag has no json tag`
+	//hbbmc:nomerge stale excuse
+	Stale int64 `json:"stale"`  // want `carries //hbbmc:nomerge but IS referenced`
+	Dup   int64 `json:"merged"` // want `reuses json tag "merged"`
+}
+
+func (s *BadStats) merge(o *BadStats) {
+	s.Merged += o.Merged
+	s.NoTag += o.NoTag
+	s.Stale += o.Stale
+	s.Dup += o.Dup
+}
+
+// NotAStats has a merge-shaped method over a different parameter type, so
+// the analyzer must ignore it entirely.
+type NotAStats struct {
+	Counter int
+}
+
+func (s *NotAStats) merge(o *GoodStats) { _ = o }

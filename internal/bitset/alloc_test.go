@@ -1,0 +1,59 @@
+package bitset
+
+import "testing"
+
+// TestKernelsAllocFree pins the fused kernels at exactly zero allocations
+// per call. The engine's recursion budget (internal/core, //hbbmc:noalloc)
+// assumes these are pure word loops; a stray escape or spill to the heap
+// here would charge every node of every branch tree.
+func TestKernelsAllocFree(t *testing.T) {
+	const bits = 70 * 64 // several words, not a round power of two
+	a, b, dst := New(bits), New(bits), New(bits)
+	for i := 0; i < bits; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < bits; i += 5 {
+		b.Set(i)
+	}
+	out := make([]int32, 0, bits)
+
+	kernels := map[string]func(){
+		"Count":           func() { _ = a.Count() },
+		"CountCapped":     func() { _ = a.CountCapped(17) },
+		"AndInto":         func() { dst.AndInto(a, b) },
+		"AndNotInto":      func() { dst.AndNotInto(a, b) },
+		"AndIntoCount":    func() { _ = dst.AndIntoCount(a, b) },
+		"AndNotIntoCount": func() { _ = dst.AndNotIntoCount(a, b) },
+		"AndCount":        func() { _ = a.AndCount(b) },
+		"AndNotCount":     func() { _ = a.AndNotCount(b) },
+		"AndAny":          func() { _ = a.AndAny(b) },
+		"AppendTo":        func() { out = a.AppendTo(out[:0]) },
+	}
+	for name, fn := range kernels {
+		if got := testing.AllocsPerRun(200, fn); got != 0 {
+			t.Errorf("%s: %v allocs per call, want 0", name, got)
+		}
+	}
+}
+
+// TestArenaGetAllocFree pins arena handle churn inside a mark/release
+// window at zero allocations once the arena has grown to its high-water
+// mark — the property that makes per-node C/X sets free in steady state.
+func TestArenaGetAllocFree(t *testing.T) {
+	ar := NewArena(256)
+	warm := ar.Mark()
+	for i := 0; i < 8; i++ {
+		ar.Get()
+	}
+	ar.Release(warm)
+
+	if got := testing.AllocsPerRun(200, func() {
+		m := ar.Mark()
+		s := ar.Get()
+		u := ar.GetUnzeroed()
+		u.CopyFrom(s)
+		ar.Release(m)
+	}); got != 0 {
+		t.Errorf("warm Mark/Get/Release cycle: %v allocs, want 0", got)
+	}
+}

@@ -64,6 +64,8 @@ func (s Set) Has(i int) bool {
 }
 
 // Count returns the number of set bits.
+//
+//hbbmc:noalloc
 func (s Set) Count() int {
 	n := 0
 	i := 0
@@ -82,6 +84,8 @@ func (s Set) Count() int {
 // CountCapped returns min(Count, limit), scanning only until the limit is
 // reached — the "are at least limit bits set?" threshold form of Count (the
 // early-termination decomposition uses it to bound complement degrees).
+//
+//hbbmc:noalloc
 func (s Set) CountCapped(limit int) int {
 	n := 0
 	for _, w := range s {
@@ -125,6 +129,8 @@ func (s Set) AndNotWith(o Set) {
 }
 
 // AndInto stores a ∩ b into s. All three sets must share a word length.
+//
+//hbbmc:noalloc
 func (s Set) AndInto(a, b Set) {
 	for i := range s {
 		s[i] = a[i] & b[i]
@@ -132,6 +138,8 @@ func (s Set) AndInto(a, b Set) {
 }
 
 // AndNotInto stores a \ b into s.
+//
+//hbbmc:noalloc
 func (s Set) AndNotInto(a, b Set) {
 	for i := range s {
 		s[i] = a[i] &^ b[i]
@@ -140,6 +148,8 @@ func (s Set) AndNotInto(a, b Set) {
 
 // AndIntoCount stores a ∩ b into s and returns its popcount — the fused form
 // of AndInto followed by Count, touching every cache line once.
+//
+//hbbmc:noalloc
 func (s Set) AndIntoCount(a, b Set) int {
 	n := 0
 	i := 0
@@ -161,6 +171,8 @@ func (s Set) AndIntoCount(a, b Set) int {
 }
 
 // AndNotIntoCount stores a \ b into s and returns its popcount.
+//
+//hbbmc:noalloc
 func (s Set) AndNotIntoCount(a, b Set) int {
 	n := 0
 	i := 0
@@ -183,6 +195,8 @@ func (s Set) AndNotIntoCount(a, b Set) int {
 
 // AndCount returns |s ∩ o| without materialising the intersection
 // (intersect + popcount fused in one pass, 4-way unrolled).
+//
+//hbbmc:noalloc
 func (s Set) AndCount(o Set) int {
 	n := 0
 	i := 0
@@ -197,6 +211,8 @@ func (s Set) AndCount(o Set) int {
 }
 
 // AndNotCount returns |s \ o| without materialising the difference.
+//
+//hbbmc:noalloc
 func (s Set) AndNotCount(o Set) int {
 	n := 0
 	i := 0
@@ -211,6 +227,8 @@ func (s Set) AndNotCount(o Set) int {
 }
 
 // AndAny reports whether s ∩ o is non-empty.
+//
+//hbbmc:noalloc
 func (s Set) AndAny(o Set) bool {
 	for i := range s {
 		if s[i]&o[i] != 0 {
@@ -315,6 +333,8 @@ func (s Set) ForEachWord(fn func(base int, w uint64)) {
 }
 
 // AppendTo appends the indices of the set bits to dst and returns it.
+//
+//hbbmc:noalloc
 func (s Set) AppendTo(dst []int32) []int32 {
 	for wi, w := range s {
 		base := wi * wordBits

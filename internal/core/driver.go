@@ -113,6 +113,8 @@ func (e *engine) runEdgeOrdered() {
 // covered by no edge branch (Eq. 3 at the initial branch), so each is a
 // maximal 1-clique. The parallel driver runs it once after the workers
 // join; the sequential driver after the last edge branch.
+//
+//hbbmc:ctxpoll
 func (e *engine) runIsolatedVertices() {
 	for v := int32(0); v < int32(e.g.NumVertices()); v++ {
 		if e.rc.stopped() {
@@ -125,12 +127,25 @@ func (e *engine) runIsolatedVertices() {
 	}
 }
 
+// cheapSide picks the member's triangle side edge with the shorter
+// incidence list, so row filling scans the fewest triangles.
+//
+//hbbmc:noalloc
+func (e *engine) cheapSide(cn commonNeighbor) int32 {
+	if e.inc.Count(cn.eb) < e.inc.Count(cn.ea) {
+		return cn.eb
+	}
+	return cn.ea
+}
+
 // runEdgeBranch evaluates the top-level branch of one edge: candidates are
 // the common neighbors whose triangle edges both rank later (Algorithms 3
 // and 4). The branch universe comes from the precomputed triangle
 // incidence, so no adjacency merging happens here; tiny branches (at most
 // two common neighbors) are resolved inline without materialising a
 // universe.
+//
+//hbbmc:noalloc
 func (e *engine) runEdgeBranch(eid int32) {
 	g := e.g
 	a, b := g.EdgeEndpoints(eid)
@@ -172,16 +187,10 @@ func (e *engine) runEdgeBranch(eid int32) {
 	// alone are cheaper and sufficient.
 	e.listBuf = e.listBuf[:0]
 	e.sideBuf = e.sideBuf[:0]
-	cheapSide := func(cn commonNeighbor) int32 {
-		if e.inc.Count(cn.eb) < e.inc.Count(cn.ea) {
-			return cn.eb
-		}
-		return cn.ea
-	}
 	for _, cn := range common {
 		if cn.cand {
 			e.listBuf = append(e.listBuf, cn.w)
-			e.sideBuf = append(e.sideBuf, cheapSide(cn))
+			e.sideBuf = append(e.sideBuf, e.cheapSide(cn))
 		}
 	}
 	rowCount := inC
@@ -192,7 +201,7 @@ func (e *engine) runEdgeBranch(eid int32) {
 		if !cn.cand {
 			e.listBuf = append(e.listBuf, cn.w)
 			if rowCount > inC {
-				e.sideBuf = append(e.sideBuf, cheapSide(cn))
+				e.sideBuf = append(e.sideBuf, e.cheapSide(cn))
 			}
 		}
 	}
@@ -230,6 +239,8 @@ func (e *engine) runEdgeBranch(eid int32) {
 // neighbors directly; they are by far the most frequent case on sparse
 // graphs and need no universe. Returns false when the general machinery
 // must take over. e.S is the branch's {a,b}.
+//
+//hbbmc:noalloc
 func (e *engine) resolveTinyBranch(common []commonNeighbor, inC int, r int32) bool {
 	if len(common) > 2 {
 		return false
@@ -253,12 +264,13 @@ func (e *engine) resolveTinyBranch(common []commonNeighbor, inC int, r int32) bo
 			e.emit(nil)
 			e.S = e.S[:len(e.S)-2]
 		} else if we < 0 {
-			// Independent candidates: each extends S maximally.
-			for _, w := range []int32{w1.w, w2.w} {
-				e.S = append(e.S, w)
-				e.emit(nil)
-				e.S = e.S[:len(e.S)-1]
-			}
+			// Independent candidates: each extends S maximally. Unrolled —
+			// a slice literal here would allocate on every tiny branch.
+			e.S = append(e.S, w1.w)
+			e.emit(nil)
+			e.S[len(e.S)-1] = w2.w
+			e.emit(nil)
+			e.S = e.S[:len(e.S)-1]
 		}
 		// Masked candidate edge (rank ≤ r): both extensions are dominated
 		// in G and the containing cliques belong to the earlier branch.

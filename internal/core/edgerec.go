@@ -30,6 +30,8 @@ type localEdge struct {
 // e.edgeBuf across levels (each call appends past its parent's segment and
 // truncates on exit) and the per-level degree tallies come from the
 // cntArena.
+//
+//hbbmc:noalloc
 func (e *engine) edgeRec(C, X bitset.Set, maxRank int32, depth int) {
 	if e.rc.stopped() {
 		return

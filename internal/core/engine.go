@@ -66,6 +66,10 @@ type engine struct {
 	compVisited  []bool
 	fBuf, nonF   []int32
 	walkBuf      []int32
+	// etEmit adapts plex.Scratch.Emit to e.emit. Built once in newEngine:
+	// constructing the closure at the emitPlexDirect call site would
+	// allocate on every early termination.
+	etEmit func([]int32)
 
 	// timed enables the per-phase nanosecond counters in Stats
 	// (Options.PhaseTimers); when false the clock is never read.
@@ -93,6 +97,7 @@ func newEngine(res *graph.Graph, red *reduce.Result, opts Options, stats *Stats,
 		rowArena: bitset.NewArena(0),
 		setArena: bitset.NewArena(0),
 	}
+	e.etEmit = func(cl []int32) { e.emit(cl) }
 	return e
 }
 
@@ -217,6 +222,8 @@ func (e *engine) installUniverse(vs []int32, baseRank int32, rowCount int) int64
 // universe, together with the edge id (w,x) that carries the mask rank.
 // The work per candidate is its side-edge support — never more than its
 // degree, and usually far less on hub-heavy graphs.
+//
+//hbbmc:noalloc
 func (e *engine) fillRowsFromIncidence(baseRank int32, rowCount int) {
 	for i := 0; i < rowCount; i++ {
 		w := e.verts[i]
@@ -246,6 +253,8 @@ func (e *engine) fillRowsFromIncidence(baseRank int32, rowCount int) {
 	}
 }
 
+//
+//hbbmc:noalloc
 func (e *engine) fillRowsByScan(baseRank int32, rowCount int) {
 	for i := 0; i < rowCount; i++ {
 		v := e.verts[i]
@@ -268,6 +277,8 @@ func (e *engine) fillRowsByScan(baseRank int32, rowCount int) {
 	}
 }
 
+//
+//hbbmc:noalloc
 func (e *engine) fillRowsPairwise(baseRank int32, rowCount int) {
 	k := len(e.verts)
 	for i := 0; i < rowCount; i++ {
@@ -293,6 +304,8 @@ func (e *engine) fillRowsPairwise(baseRank int32, rowCount int) {
 // maskFreeCandidates reports whether no candidate-candidate edge of the
 // current universe is masked. The candidates occupy local ids [0, inC), so
 // the check compares each candidate's full and masked rows on that prefix.
+//
+//hbbmc:noalloc
 func (e *engine) maskFreeCandidates(inC int) bool {
 	fullWords := inC / 64
 	restBits := uint(inC % 64)
@@ -328,6 +341,8 @@ func (e *engine) rankOfLocal(i, j int) int32 {
 // the graph reduction, consumes the clique budget, maps residual ids back
 // to original ids and invokes the user visitor; a visitor returning false
 // latches the run's stop flag.
+//
+//hbbmc:noalloc
 func (e *engine) emit(extraLocal []int32) {
 	// A latched stop must silence every later emit, including ones from the
 	// same recursion frame (ET plex bursts, tiny-branch multi-emits) that
@@ -377,6 +392,8 @@ func (e *engine) emitSet(set bitset.Set) {
 //
 // Returns true when the branch was closed (all its maximal cliques have been
 // emitted).
+//
+//hbbmc:noalloc
 func (e *engine) tryEarlyTerminate(adjH []bitset.Set, C, X bitset.Set, cSize, minDeg int) bool {
 	t := e.opts.ET
 	if t == 0 || cSize == 0 || minDeg < cSize-t {
@@ -414,6 +431,8 @@ func (e *engine) tryEarlyTerminate(adjH []bitset.Set, C, X bitset.Set, cSize, mi
 // recursion polls the run's stop latch on entry, so a stopped run (visitor
 // returned false, clique budget exhausted, or a cancellation observed at a
 // top-branch check) unwinds without evaluating further branches.
+//
+//hbbmc:noalloc
 func (e *engine) vertexRec(adjH []bitset.Set, C, X bitset.Set) {
 	switch e.inner {
 	case innerPlain:
@@ -434,6 +453,8 @@ func (e *engine) vertexRec(adjH []bitset.Set, C, X bitset.Set) {
 // in a hybrid branch) and childX the exclusion vertices, including
 // candidates reachable from v only through a masked edge — those cannot
 // join the clique but still block maximality.
+//
+//hbbmc:noalloc
 func (e *engine) deriveChild(adjH []bitset.Set, C, X bitset.Set, v int, childC, childX, tmp bitset.Set) {
 	if adjH == nil {
 		childC.AndInto(C, e.adjG[v])

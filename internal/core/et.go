@@ -22,9 +22,11 @@ import (
 // without emitting anything when some vertex has more than two complement
 // neighbors — impossible when the caller's t-plex check passed, but cheap
 // to guard.
+//
+//hbbmc:noalloc
 func (e *engine) emitPlexDirect(C bitset.Set, cSize int) bool {
 	k := len(e.verts)
-	if cap(e.compA) < k {
+	if cap(e.compA) < k { //hbbmc:allowalloc amortised growth to the largest universe seen
 		e.compA = make([]int32, k)
 		e.compB = make([]int32, k)
 		e.compVisited = make([]bool, k)
@@ -109,7 +111,7 @@ func (e *engine) emitPlexDirect(C bitset.Set, cSize int) bool {
 		}
 		s.AddCycle(e.walkBuf)
 	}
-	s.Emit(func(cl []int32) { e.emit(cl) })
+	s.Emit(e.etEmit)
 	e.setArena.Release(mark)
 	return true
 }

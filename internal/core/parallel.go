@@ -106,6 +106,8 @@ func configureEngine(e *engine, opts Options) {
 // pivots, so their rows — the dominant share of the build cost around hubs,
 // whose earlier-neighbor side is unbounded by δ — are built only when the
 // branch is recursion-heavy enough for pivot quality to pay for them.
+//
+//hbbmc:ctxpoll
 func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int) {
 	for i := begin; i < end; i += stride {
 		if e.rc.halted() {
@@ -148,6 +150,8 @@ func (e *engine) runVertexOrderedRange(ord, pos []int32, begin, end, stride int)
 // runEdgeOrderedRange processes edge-order positions begin, begin+stride,
 // ... below end and leaves isolated vertices to the caller. Cancellation
 // and early stops are observed once per top-level branch.
+//
+//hbbmc:ctxpoll
 func (e *engine) runEdgeOrderedRange(begin, end, stride int) {
 	for i := begin; i < end; i += stride {
 		if e.rc.halted() {
@@ -160,6 +164,8 @@ func (e *engine) runEdgeOrderedRange(begin, end, stride int) {
 // runEdgeOrderedSched processes the edge-order positions sched[begin:end]
 // (raw positions [begin, end) when sched is nil) — the cost-ordered variant
 // the dynamic scheduler feeds with contiguous chunks.
+//
+//hbbmc:ctxpoll
 func (e *engine) runEdgeOrderedSched(sched []int32, begin, end int) {
 	for i := begin; i < end; i++ {
 		if e.rc.halted() {
@@ -174,6 +180,8 @@ func (e *engine) runEdgeOrderedSched(sched []int32, begin, end int) {
 }
 
 // runVertexOrderedSched is runEdgeOrderedSched's vertex-ordered sibling.
+//
+//hbbmc:ctxpoll
 func (e *engine) runVertexOrderedSched(ord, pos, sched []int32, begin, end int) {
 	for i := begin; i < end; i++ {
 		if e.rc.halted() {

@@ -70,13 +70,15 @@ func (q *workQueue) next() (begin, end int, ok bool) {
 // workers' batches are dropped (their counts were already recorded by the
 // workers that found them). batches counts flushes for Stats.EmitBatches.
 type emitSink struct {
-	mu      sync.Mutex
-	visit   Visitor
-	rc      *runControl
+	mu    sync.Mutex
+	visit Visitor
+	rc    *runControl
+	//hbbmc:guardedby mu
 	stopped bool
 	// dropped counts cliques a worker had already recorded in its Stats
 	// when the stop latched, so they were never delivered; the driver
 	// subtracts them to keep Stats.Cliques = cliques actually reported.
+	//hbbmc:guardedby mu
 	dropped int64
 	batches atomic.Int64
 }
@@ -100,13 +102,22 @@ func (s *emitSink) deliverLocked(c []int32) bool {
 	return true
 }
 
-// emitLocked delivers one clique under the sink lock — the seed's
-// per-clique locking, kept for the static-stride ablation.
-func (s *emitSink) emitLocked(c []int32) bool {
+// emitLocking delivers one clique, taking the sink lock itself — the
+// seed's per-clique locking, kept for the static-stride ablation. Unlike
+// the *Locked helpers it does not require the caller to hold the lock.
+func (s *emitSink) emitLocking(c []int32) bool {
 	s.mu.Lock()
 	ok := s.deliverLocked(c)
 	s.mu.Unlock()
 	return ok
+}
+
+// droppedCount reads the undelivered-clique count under the sink lock;
+// callers use it after the workers join, when the lock is uncontended.
+func (s *emitSink) droppedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // direct returns the delivery Visitor for single-goroutine phases after
@@ -117,7 +128,7 @@ func (s *emitSink) direct() Visitor {
 	if s.visit == nil {
 		return nil
 	}
-	return s.emitLocked
+	return s.emitLocking
 }
 
 // emitBatchDataCap bounds the flattened vertex-id buffer of one batcher so

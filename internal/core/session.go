@@ -391,6 +391,8 @@ func (s *Session) baseStats(workers int) *Stats {
 // sees a scratch copy, never the session's cached slices — the streaming
 // contract lets callers scribble on the slice until the call returns, and
 // that must not corrupt the cache that later queries reuse.
+//
+//hbbmc:ctxpoll
 func emitReduced(rc *runControl, stats *Stats, cliques [][]int32, visit Visitor) {
 	var buf []int32
 	for _, c := range cliques {
@@ -470,7 +472,7 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit V
 		if visit != nil {
 			if ablateStaticStride {
 				// Seed behavior under ablation: one lock round-trip per clique.
-				workerEmit = sink.emitLocked
+				workerEmit = sink.emitLocking
 			} else {
 				batcher = newEmitBatcher(sink, opts.EmitBatchSize)
 				workerEmit = batcher.add
@@ -523,7 +525,7 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit V
 	// Workers count a clique when they find it, before it is batched; ones
 	// the stop latch kept from being delivered come off again so Cliques
 	// means "reported to the caller" on every path.
-	stats.Cliques -= sink.dropped
+	stats.Cliques -= sink.droppedCount()
 	stats.EmitBatches = sink.batches.Load()
 	stats.EnumTime = time.Since(enum)
 	return stats

@@ -41,7 +41,11 @@ type Stats struct {
 	ETCliques int64 `json:"et_cliques"`
 
 	// ReducedVertices and ReductionCliques summarise the GR preprocessing.
-	ReducedVertices  int   `json:"reduced_vertices"`
+	// The reduction runs once on the coordinator before workers fork, so
+	// worker stats never carry them.
+	//hbbmc:nomerge coordinator-only, set by the preprocessing pass
+	ReducedVertices int `json:"reduced_vertices"`
+	//hbbmc:nomerge coordinator-only, set by the preprocessing pass
 	ReductionCliques int64 `json:"reduction_cliques"`
 	// SuppressedLeaves counts residual-graph cliques rejected because a
 	// removed vertex dominated them.
@@ -49,17 +53,26 @@ type Stats struct {
 
 	// Delta, Tau and HIndex are the structural parameters of the (reduced)
 	// graph when the run computed them (δ for vertex orderings, τ for the
-	// truss ordering, h for the degree ordering).
-	Delta  int `json:"delta"`
-	Tau    int `json:"tau"`
+	// truss ordering, h for the degree ordering). They describe the shared
+	// input graph, not per-worker progress, and are seeded into the
+	// coordinator's stats before the merge.
+	//hbbmc:nomerge graph property computed once during ordering
+	Delta int `json:"delta"`
+	//hbbmc:nomerge graph property computed once during ordering
+	Tau int `json:"tau"`
+	//hbbmc:nomerge graph property computed once during ordering
 	HIndex int `json:"h_index"`
 
 	// OrderingTime covers reduction plus ordering construction; EnumTime
 	// covers the recursive enumeration. Total run time is their sum.
 	// Session queries report zero OrderingTime — the preprocessing was paid
-	// once in NewSession (see Session.PrepTime).
+	// once in NewSession (see Session.PrepTime). Both are wall-clock spans
+	// measured by the coordinator around the whole run, not per-worker
+	// durations, so summing them across workers would inflate them.
+	//hbbmc:nomerge coordinator wall-clock, measured around the fork/join
 	OrderingTime time.Duration `json:"ordering_time_ns"`
-	EnumTime     time.Duration `json:"enum_time_ns"`
+	//hbbmc:nomerge coordinator wall-clock, measured around the fork/join
+	EnumTime time.Duration `json:"enum_time_ns"`
 
 	// Per-phase counters, populated only when Options.PhaseTimers is set:
 	// UniverseTime covers branch-local universe installation and adjacency
@@ -76,13 +89,16 @@ type Stats struct {
 	// Workers is the number of goroutines that actually executed the
 	// enumeration: 1 for the sequential driver (including parallel
 	// fallbacks), the effective post-clamp count for parallel runs.
+	//hbbmc:nomerge set once by the coordinator after clamping
 	Workers int `json:"workers"`
 	// ParallelFallback is non-empty when a parallel run delegated to the
 	// sequential driver, and states why (whole-graph algorithm, single
 	// worker).
 	ParallelFallback string `json:"parallel_fallback,omitempty"`
 	// EmitBatches counts the batched-emit flushes of a parallel run
-	// (0 when emit was nil or the run was sequential).
+	// (0 when emit was nil or the run was sequential). The sink counts
+	// flushes globally; the coordinator copies the total after the join.
+	//hbbmc:nomerge read from the shared emit sink after workers join
 	EmitBatches int64 `json:"emit_batches"`
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mergeExempt is this test's own list of Stats fields that merge must NOT
+// fold — coordinator-only values a worker never owns. It deliberately
+// duplicates the //hbbmc:nomerge annotations rather than parsing them, so
+// the runtime gate and the static analyzer (internal/analysis/statsmerge)
+// fail independently: a field added to Stats without a merge line trips
+// both; an annotation silently dropped from stats.go trips only the
+// analyzer; a merge line silently dropped trips only this test.
+var mergeExempt = map[string]bool{
+	"ReducedVertices":  true,
+	"ReductionCliques": true,
+	"Delta":            true,
+	"Tau":              true,
+	"HIndex":           true,
+	"OrderingTime":     true,
+	"EnumTime":         true,
+	"Workers":          true,
+	"EmitBatches":      true,
+}
+
+// TestMergeCoversEveryNumericField sets every numeric field of a worker
+// Stats to a distinct sentinel, merges it into a zero coordinator Stats,
+// and requires each non-exempt field to have arrived (summed or maxed into
+// the zero value, either way equal to the sentinel) and each exempt field
+// to have stayed zero.
+func TestMergeCoversEveryNumericField(t *testing.T) {
+	var s, o Stats
+	ov := reflect.ValueOf(&o).Elem()
+	st := ov.Type()
+
+	numeric := 0
+	for i := 0; i < st.NumField(); i++ {
+		f := ov.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(i + 1)) // distinct non-zero sentinel per field
+			numeric++
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+			numeric++
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(i + 1))
+			numeric++
+		}
+	}
+	if numeric == 0 {
+		t.Fatal("no numeric fields found in Stats — reflection walk is broken")
+	}
+
+	s.merge(&o)
+
+	sv := reflect.ValueOf(&s).Elem()
+	seen := map[string]bool{}
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		got, want := sv.Field(i), ov.Field(i)
+		switch got.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64:
+		default:
+			continue
+		}
+		seen[name] = true
+		if mergeExempt[name] {
+			if !got.IsZero() {
+				t.Errorf("coordinator-only field %s was merged (got %v)", name, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.Interface(), want.Interface()) {
+			t.Errorf("field %s not folded by merge: coordinator has %v, worker had %v", name, got, want)
+		}
+	}
+	for name := range mergeExempt {
+		if !seen[name] {
+			t.Errorf("mergeExempt lists %s, which is not a numeric field of Stats — stale entry", name)
+		}
+	}
+}

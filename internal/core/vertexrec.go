@@ -23,6 +23,8 @@ import (
 // BK_Degree and as the default inner recursion of HBBMC: pick the vertex of
 // C ∪ X with the most candidate neighbors and branch only on its
 // non-neighbors in C.
+//
+//hbbmc:noalloc
 func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return
@@ -77,6 +79,8 @@ func (e *engine) pivotRec(adjH []bitset.Set, C, X bitset.Set) {
 // Exclusion vertices without adjacency rows (the edge-oriented top level
 // skips building them) are not considered as pivots; candidates always
 // provide a valid pivot.
+//
+//hbbmc:noalloc
 func (e *engine) scanPivot(C, X bitset.Set) (cSize, minDeg, pivot int) {
 	t0 := e.now()
 	cSize, minDeg, pivot = 0, math.MaxInt, -1
@@ -140,6 +144,8 @@ func (e *engine) scanPivot(C, X bitset.Set) (cSize, minDeg, pivot int) {
 
 // maskedEdgesIn reports whether any candidate-candidate edge is masked:
 // some candidate's masked row differs from its full row on C.
+//
+//hbbmc:noalloc
 func (e *engine) maskedEdgesIn(adjH []bitset.Set, C bitset.Set) bool {
 	for wi, cw := range C {
 		base := wi * 64
@@ -170,6 +176,8 @@ func (e *engine) ensureCnt() {
 // candidate — in which case no maximal clique exists below the branch. It
 // folds candidate rows over X, so it needs no X-side adjacency rows. The
 // scratch set is carved from the caller's arena mark.
+//
+//hbbmc:noalloc
 func (e *engine) xDominated(C, X bitset.Set) bool {
 	if X.IsEmpty() {
 		return false
@@ -197,6 +205,8 @@ func (e *engine) xDominated(C, X bitset.Set) bool {
 // pivot augmented with two domination rules — a branch dies when some
 // exclusion vertex covers all of C, and a candidate adjacent to every other
 // candidate is moved into S without branching.
+//
+//hbbmc:noalloc
 func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return
@@ -309,6 +319,8 @@ func (e *engine) refRec(adjH []bitset.Set, C, X bitset.Set) {
 // an O(|C|) integer min-scan instead of |C| full row intersections. The
 // counts live in the per-level cntArena, so the recursive call's own scan
 // cannot clobber the parent's.
+//
+//hbbmc:noalloc
 func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 	if ablateUnfusedKernels {
 		e.rcdRecRescan(adjH, C, X)
@@ -373,7 +385,7 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 		// tryEarlyTerminate checks first.
 		if t := e.opts.ET; t != 0 && minG >= cSize-t {
 			saved := e.cntBuf
-			e.cntBuf = cntG
+			e.cntBuf = cntG //hbbmc:allowescape aliased only for the tryEarlyTerminate call, restored on the next line
 			closed := e.tryEarlyTerminate(adjH, C, X, cSize, minG)
 			e.cntBuf = saved
 			if closed {
@@ -445,6 +457,8 @@ func (e *engine) rcdRec(adjH []bitset.Set, C, X bitset.Set) {
 // rcdRecRescan is the pre-fused BK_Rcd inner loop — a full candidate-degree
 // rescan per removal step — kept verbatim for the ablateUnfusedKernels
 // measurement.
+//
+//hbbmc:noalloc
 func (e *engine) rcdRecRescan(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return
@@ -511,6 +525,8 @@ func (e *engine) rcdRecRescan(adjH []bitset.Set, C, X bitset.Set) {
 // facRec is BK_Fac (Algorithm 10 of the paper, from [18]): start from an
 // arbitrary pivot and opportunistically adopt a better one whenever a
 // just-branched vertex would have produced fewer sub-branches.
+//
+//hbbmc:noalloc
 func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return
@@ -561,6 +577,8 @@ func (e *engine) facRec(adjH []bitset.Set, C, X bitset.Set) {
 // scanDegrees fills cntBuf with the candidate degrees inside C and returns
 // |C| and the minimum degree — the inputs of the t-plex test for recursions
 // that do not need a pivot.
+//
+//hbbmc:noalloc
 func (e *engine) scanDegrees(C bitset.Set) (cSize, minDeg int) {
 	t0 := e.now()
 	cSize, minDeg = 0, math.MaxInt
@@ -597,6 +615,8 @@ func (e *engine) scanDegrees(C bitset.Set) (cSize, minDeg int) {
 
 // plainRec is the original Bron–Kerbosch recursion without pivoting,
 // branching on every candidate.
+//
+//hbbmc:noalloc
 func (e *engine) plainRec(adjH []bitset.Set, C, X bitset.Set) {
 	if e.rc.stopped() {
 		return

@@ -19,9 +19,11 @@ var ErrSaturated = errors.New("service: worker slots saturated")
 // FIFO — a small request does not jump a large one at the head of the queue,
 // so wide jobs cannot starve.
 type slotSem struct {
-	mu       sync.Mutex
-	cap      int        // total slots
-	avail    int        // currently free slots
+	mu  sync.Mutex
+	cap int // total slots
+	//hbbmc:guardedby mu
+	avail int // currently free slots
+	//hbbmc:guardedby mu
 	queue    *list.List // of *slotWaiter, FIFO
 	maxQueue int        // waiters beyond this are rejected immediately
 }

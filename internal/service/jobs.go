@@ -45,18 +45,28 @@ type Job struct {
 	Query   hbbmc.QueryOptions
 	Workers int // worker slots held while running
 
-	mu         sync.Mutex
-	state      JobState
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	state JobState
+	//hbbmc:guardedby mu
 	stopReason string
-	errMsg     string
-	stats      *hbbmc.Stats
-	created    time.Time
-	started    time.Time
-	finished   time.Time
+	//hbbmc:guardedby mu
+	errMsg string
+	//hbbmc:guardedby mu
+	stats *hbbmc.Stats
+	//hbbmc:guardedby mu
+	created time.Time
+	//hbbmc:guardedby mu
+	started time.Time
+	//hbbmc:guardedby mu
+	finished time.Time
 
+	//hbbmc:guardedby mu
 	sessionCached bool
-	prepTime      time.Duration
+	//hbbmc:guardedby mu
+	prepTime time.Duration
 
+	//hbbmc:guardedby mu
 	cancel       context.CancelFunc
 	cancelReason atomic.Pointer[string]
 	// cancelled closes on the first requestCancel, before j.cancel exists:
@@ -149,9 +159,12 @@ func (j *Job) requestCancel(reason string) {
 // kept as failed for observability) and prunes terminal jobs beyond the
 // history limit.
 type jobManager struct {
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	order      []string // creation order, for listing and pruning
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	jobs map[string]*Job
+	//hbbmc:guardedby mu
+	order []string // creation order, for listing and pruning
+	//hbbmc:guardedby mu
 	seq        int64
 	maxHistory int
 	m          *metrics

@@ -20,13 +20,17 @@ import (
 // enumeration: the first job on a (dataset, options) pair pays NewSession,
 // every later one starts enumerating immediately.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//hbbmc:guardedby mu
 	datasets map[string]*dataset
+	//hbbmc:guardedby mu
 	sessions map[string]*sessionEntry // dataset name + "\x00" + Options.SessionKey()
-	lru      *list.List               // of *sessionEntry; front = most recently used
-	used     int64                    // bytes of built sessions
-	budget   int64
-	m        *metrics
+	//hbbmc:guardedby mu
+	lru *list.List // of *sessionEntry; front = most recently used
+	//hbbmc:guardedby mu
+	used   int64 // bytes of built sessions
+	budget int64
+	m      *metrics
 }
 
 type dataset struct {

@@ -292,6 +292,8 @@ type streamTrailer struct {
 // cliques promptly without a per-line flush syscall storm. A client
 // disconnect cancels the job — without its one consumer the enumeration
 // would otherwise block on the full channel until the deadline.
+//
+//hbbmc:ctxpoll
 func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {

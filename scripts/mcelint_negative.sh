@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Negative test for the mcelint suite: seed a throwaway package with known
+# violations and require the linter to reject it. This guards the gate
+# itself — a broken package loader or an accidentally disabled analyzer
+# exits 0 on the real tree exactly like a healthy run, and only a seeded
+# failure can tell the two apart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed=internal/mcelintseed
+out=$(mktemp)
+trap 'rm -rf "$seed" "$out"' EXIT
+mkdir -p "$seed"
+cat > "$seed/seed.go" <<'EOF'
+// Package mcelintseed exists only for the duration of the mcelint negative
+// test (scripts/mcelint_negative.sh), which deletes it again on exit. It
+// must never be committed.
+package mcelintseed
+
+import "sync"
+
+// escape allocates inside a //hbbmc:noalloc function — the seeded noalloc
+// violation.
+//
+//hbbmc:noalloc
+func escape(n int) []int {
+	return make([]int, n)
+}
+
+type counter struct {
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	n int
+}
+
+// bump reads a guarded field outside the critical section — the seeded
+// lockedfields violation.
+func bump(c *counter) int {
+	return c.n
+}
+EOF
+
+if go tool mcelint "./$seed" >"$out" 2>&1; then
+	echo "FAIL: mcelint accepted a package with seeded violations:" >&2
+	cat "$out" >&2
+	exit 1
+fi
+grep -q 'noalloc' "$out" || { echo "FAIL: seeded noalloc violation not reported:" >&2; cat "$out" >&2; exit 1; }
+grep -q 'guarded by' "$out" || { echo "FAIL: seeded lockedfields violation not reported:" >&2; cat "$out" >&2; exit 1; }
+echo "mcelint negative test passed: seeded violations rejected"
