@@ -8,6 +8,8 @@
 //	mced [-addr 127.0.0.1:8399] [-portfile path]
 //	     [-dataset name=path ...] [-slots N] [-queue-wait 2s] [-queue-len N]
 //	     [-session-budget 1GiB] [-stream-buffer 1024] [-job-history 256]
+//	     [-peers url,url,...] [-shard-inflight N] [-shard-timeout 1m]
+//	     [-shard-retries N] [-shard-branches N]
 //
 // Start the daemon, register a dataset and stream a job:
 //
@@ -25,6 +27,15 @@
 // with -addr :0 this is how scripts find the listener. SIGINT/SIGTERM shut
 // down gracefully: running jobs are cancelled and their partial statistics
 // persisted before the process exits.
+//
+// -peers turns the node into a distributed coordinator: jobs are split into
+// top-level branch shards and fanned out to the listed worker nodes, whose
+// clique streams merge into the one stream the client reads. Workers run
+// plain mced with the same dataset registered; -shard-inflight bounds the
+// concurrently dispatched shards, -shard-timeout bounds one shard attempt
+// (stragglers are re-split or re-dispatched), -shard-retries bounds the
+// re-dispatches per shard and -shard-branches caps a shard's branch
+// interval. See the README's "Distributed serving" section.
 package main
 
 import (
@@ -84,6 +95,12 @@ func main() {
 		streamBuffer = flag.Int("stream-buffer", 0, "default per-job clique channel capacity (0 = 1024)")
 		jobHistory   = flag.Int("job-history", 0, "terminal jobs retained for status queries (0 = 256)")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown bound for cancelling running jobs")
+
+		peers         = flag.String("peers", "", "comma-separated worker base URLs; non-empty enables coordinator mode")
+		shardInflight = flag.Int("shard-inflight", 0, "max shards dispatched concurrently (0 = 2×peers)")
+		shardTimeout  = flag.Duration("shard-timeout", 0, "per-shard attempt bound; stragglers are re-split or re-dispatched (0 = 1m)")
+		shardRetries  = flag.Int("shard-retries", 0, "re-dispatches per failed shard before the job fails (0 = 3, negative = none)")
+		shardBranches = flag.Int("shard-branches", 0, "max top-level branches per shard (0 = 4096)")
 	)
 	flag.Var(&datasets, "dataset", "register a dataset at boot as name=path (repeatable)")
 	flag.Parse()
@@ -92,14 +109,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	srv := service.New(service.Config{
-		WorkerSlots:   *slots,
-		QueueWait:     *queueWait,
-		MaxQueue:      *queueLen,
-		SessionBudget: budgetBytes,
-		StreamBuffer:  *streamBuffer,
-		MaxJobHistory: *jobHistory,
+		WorkerSlots:      *slots,
+		QueueWait:        *queueWait,
+		MaxQueue:         *queueLen,
+		SessionBudget:    budgetBytes,
+		StreamBuffer:     *streamBuffer,
+		MaxJobHistory:    *jobHistory,
+		Peers:            peerList,
+		ShardInflight:    *shardInflight,
+		ShardTimeout:     *shardTimeout,
+		ShardRetries:     *shardRetries,
+		ShardMaxBranches: *shardBranches,
 	})
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "mced: coordinator mode, %d peer(s)\n", len(peerList))
+	}
 	for _, spec := range datasets {
 		name, path, _ := strings.Cut(spec, "=")
 		info, err := srv.Registry().Register(name, path, "auto")

@@ -39,6 +39,16 @@
 // the README's "Serving" section for the curl walkthrough. Query Stats
 // report zero OrderingTime; the cached cost is Session.PrepTime.
 //
+// The daemon also scales past one machine: started with -peers, mced runs
+// as a coordinator that splits a job's top-level branches into shard
+// descriptors (internal/distrib) — each carrying the dataset and ordering
+// fingerprints plus a branch interval — dispatches them to peer daemons
+// over the same /v1/jobs API, merges the NDJSON streams exactly-once, and
+// re-splits stragglers when a peer stalls or dies. Peers are probed via
+// /v1/info and a fingerprint mismatch is a hard 409, so a shard can never
+// silently run against the wrong graph. See the README's "Distributed
+// serving" section.
+//
 // Per-request variation on a shared session goes through QueryOptions:
 // Session.EnumerateWith and Session.CountWith override the run knobs
 // (worker count, MaxCliques budget, emit batching, phase timers) for one
@@ -174,7 +184,9 @@
 //
 //   - internal/core — the branch-and-bound engines, sessions, ET/GR
 //   - internal/service — the mced daemon: dataset registry, streaming
-//     jobs, admission control
+//     jobs, admission control, distributed coordinator
+//   - internal/distrib — shard descriptors and range planning shared by
+//     the local scheduler and the coordinator
 //   - internal/graph — immutable CSR graphs and loaders
 //   - internal/order, internal/truss — degeneracy and truss orderings
 //   - internal/plex — direct enumeration from 2-/3-plex candidate graphs

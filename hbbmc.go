@@ -98,6 +98,20 @@ type Options = core.Options
 // early-termination ratios, timings).
 type Stats = core.Stats
 
+// MergeStats folds src's per-worker counters into dst — the aggregation the
+// distributed coordinator applies across the Stats of remote branch-range
+// shards. Coordinator-only fields (wall-clock spans, graph properties, the
+// shard counters) are not folded; the caller seeds them. See core.Stats.
+func MergeStats(dst, src *Stats) { core.MergeStats(dst, src) }
+
+// RampUpChunk is the shared guided ramp-up chunk policy of the cost-ordered
+// branch schedulers: the in-process parallel work queue and the distributed
+// shard splitter (internal/distrib) both shape their claims with it, so a
+// remote shard stream decomposes work exactly like local workers do.
+func RampUpChunk(pos, remaining, consumers int) int {
+	return core.RampUpChunk(pos, remaining, consumers)
+}
+
 // Algorithm selects the enumeration framework.
 type Algorithm = core.Algorithm
 

@@ -1,0 +1,119 @@
+package benchharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// BenchmarkDistributedOverhead pins the cost the coordinator adds per
+// shard: descriptor planning, the peer dispatch round trip (POST + status
+// poll), retry bookkeeping and the stats merge. The cluster is in-process
+// (one worker node, one coordinator) and the graph small, so enumeration
+// itself is noise and the inprocess/sharded gap divided by the shard count
+// IS the per-shard dispatch+merge overhead — reported as ns/shard.
+func BenchmarkDistributedOverhead(b *testing.B) {
+	g := hbbmc.GenerateER(500, 3000, 42)
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, _, err := sess.Count(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newNode := func(cfg service.Config) (*service.Server, *httptest.Server) {
+		srv := service.New(cfg)
+		ts := httptest.NewServer(srv)
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			ts.Close()
+		})
+		path := filepath.Join(b.TempDir(), "bench.hbg")
+		if err := g.SaveBinaryFile(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Registry().Register("bench", path, "auto"); err != nil {
+			b.Fatal(err)
+		}
+		return srv, ts
+	}
+
+	runCount := func(ts *httptest.Server) *hbbmc.Stats {
+		body, _ := json.Marshal(map[string]any{"dataset": "bench", "mode": "count"})
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("job: %s %s", resp.Status, data)
+		}
+		var v service.JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			b.Fatal(err)
+		}
+		for v.State != service.StateDone {
+			if v.State == service.StateFailed || v.State == service.StateStopped {
+				b.Fatalf("job ended %s: %s", v.State, v.Error)
+			}
+			resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=5s", ts.URL, v.ID))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(data, &v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if v.Stats == nil || v.Stats.Cliques != want {
+			b.Fatalf("count = %+v, want %d cliques", v.Stats, want)
+		}
+		return v.Stats
+	}
+
+	b.Run("inprocess", func(b *testing.B) {
+		_, ts := newNode(service.Config{})
+		runCount(ts) // warm the session cache outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runCount(ts)
+		}
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		_, workerTS := newNode(service.Config{})
+		_, coordTS := newNode(service.Config{
+			Peers: []string{workerTS.URL},
+			// A fixed shard size makes the fan-out deterministic, so the
+			// ns/shard metric divides by a stable count.
+			ShardMaxBranches: 256,
+			ShardTimeout:     time.Minute,
+		})
+		stats := runCount(coordTS) // warm both nodes' session caches
+		if stats.ShardsDispatched < 2 {
+			b.Fatalf("only %d shards dispatched; the overhead metric needs a fan-out", stats.ShardsDispatched)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats = runCount(coordTS)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(stats.ShardsDispatched), "ns/shard")
+	})
+}

@@ -12,26 +12,58 @@ import (
 // order concentrates the imbalance.
 const guidedDivisor = 4
 
-// workQueue distributes the top-level branch indices [0, n) to workers via
+// RampUpChunk is the guided ramp-up chunk policy for cost-ordered branch
+// queues: position pos counts branches already claimed off the expensive
+// head, so chunks start at one branch (the LPT heuristic needs the costly
+// head handed out singly) and grow linearly toward the cheap tail, where
+// batching only saves per-claim traffic. consumers is the number of parties
+// pulling from the queue — local workers for the in-process scheduler,
+// peers for the distributed shard splitter (internal/distrib), which is the
+// point: both consume the same descriptor stream shape. The result is
+// clamped to remaining and always at least 1 (0 when remaining is 0).
+func RampUpChunk(pos, remaining, consumers int) int {
+	if remaining <= 0 {
+		return 0
+	}
+	if consumers < 1 {
+		consumers = 1
+	}
+	chunk := pos/(consumers*guidedDivisor) + 1
+	if chunk > remaining {
+		chunk = remaining
+	}
+	return chunk
+}
+
+// workQueue distributes the top-level branch indices [lo, n) to workers via
 // a single atomic cursor. Workers pull half-open ranges with next(); the
 // chunk size is either fixed (fixed > 0) or guided (see guidedDivisor).
 type workQueue struct {
-	cursor  atomic.Int64
-	n       int64
+	cursor  atomic.Int64 // branches claimed so far, relative to lo
+	lo      int64
+	n       int64 // absolute exclusive end, n >= lo
 	workers int64
 	fixed   int64
 	// rampUp inverts the guided decay for cost-ordered queues: the head of
 	// the queue holds the most expensive branches, which must be handed out
 	// singly (the LPT heuristic) while chunks grow toward the cheap tail,
-	// where batching only saves queue traffic.
+	// where batching only saves queue traffic. See RampUpChunk.
 	rampUp bool
 }
 
 func newWorkQueue(n, workers, fixed int) *workQueue {
+	return newWorkQueueRange(0, n, workers, fixed)
+}
+
+// newWorkQueueRange restricts the queue to the branch interval [lo, hi) —
+// the shape a distributed shard executes. The ramp-up position is relative
+// to lo: within a shard the schedule's cost order still decays, so the
+// shard-local head is handed out in small chunks.
+func newWorkQueueRange(lo, hi, workers, fixed int) *workQueue {
 	if workers < 1 {
 		workers = 1
 	}
-	return &workQueue{n: int64(n), workers: int64(workers), fixed: int64(fixed)}
+	return &workQueue{lo: int64(lo), n: int64(hi), workers: int64(workers), fixed: int64(fixed)}
 }
 
 // next claims the next chunk of branch indices, returning the half-open
@@ -39,26 +71,26 @@ func newWorkQueue(n, workers, fixed int) *workQueue {
 func (q *workQueue) next() (begin, end int, ok bool) {
 	for {
 		cur := q.cursor.Load()
-		remaining := q.n - cur
+		remaining := q.n - q.lo - cur
 		if remaining <= 0 {
 			return 0, 0, false
 		}
-		chunk := q.fixed
-		if chunk <= 0 {
-			if q.rampUp {
-				chunk = cur/(q.workers*guidedDivisor) + 1
-			} else {
-				chunk = remaining / (q.workers * guidedDivisor)
-				if chunk < 1 {
-					chunk = 1
-				}
+		var chunk int64
+		if q.fixed > 0 {
+			chunk = q.fixed
+			if chunk > remaining {
+				chunk = remaining
+			}
+		} else if q.rampUp {
+			chunk = int64(RampUpChunk(int(cur), int(remaining), int(q.workers)))
+		} else {
+			chunk = remaining / (q.workers * guidedDivisor)
+			if chunk < 1 {
+				chunk = 1
 			}
 		}
-		if chunk > remaining {
-			chunk = remaining
-		}
 		if q.cursor.CompareAndSwap(cur, cur+chunk) {
-			return int(cur), int(cur + chunk), true
+			return int(q.lo + cur), int(q.lo + cur + chunk), true
 		}
 	}
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"iter"
 	"runtime"
 	"slices"
@@ -36,6 +38,7 @@ type Session struct {
 	opts Options // normalized
 	red  *reduce.Result
 	res  *graph.Graph // residual graph after reduction
+	src  *graph.Graph // the input graph, retained for GraphFingerprint
 
 	// Ordering state; only the fields the configured algorithm needs are set.
 	vertOrd, vertPos []int32
@@ -50,6 +53,14 @@ type Session struct {
 	scheduleOnce  sync.Once
 	schedule      []int32
 	scheduleBytes atomic.Int64
+
+	// Lazily computed identity of the session's work decomposition, used by
+	// the distributed coordinator (internal/distrib) to verify that a peer
+	// would enumerate the exact same branch space before handing it a range.
+	fpOnce  sync.Once
+	fp      uint32
+	ordOnce sync.Once
+	ordFP   uint32
 
 	delta, tau, hIndex int
 	prepTime           time.Duration
@@ -117,7 +128,7 @@ func NewSession(g *graph.Graph, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{opts: opts}
+	s := &Session{opts: opts, src: g}
 	start := time.Now()
 	if opts.GR {
 		s.red = reduce.Apply(g, reduce.Options{MaxDegree: opts.GRMaxDegree})
@@ -158,6 +169,78 @@ func NewSession(g *graph.Graph, opts Options) (*Session, error) {
 
 // Options returns the session's normalized options.
 func (s *Session) Options() Options { return s.opts }
+
+// NumTopBranches returns the size of the session's top-level branch space —
+// the domain of QueryOptions branch ranges: one branch per edge-order
+// position for the edge-oriented frameworks, one per ordering position for
+// the ordered vertex frameworks, and a single whole-graph branch for BK and
+// BKPivot. A distributed coordinator splits [0, NumTopBranches()) into the
+// intervals it dispatches.
+func (s *Session) NumTopBranches() int {
+	switch s.opts.Algorithm {
+	case BK, BKPivot:
+		return 1
+	case EBBMC, HBBMC:
+		return len(s.eo.Order)
+	default:
+		return len(s.vertOrd)
+	}
+}
+
+// fpCRCTable is the Castagnoli polynomial shared by every fingerprint in
+// the module (the .hbg snapshot header uses the same one).
+var fpCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcInt32s folds a []int32 into a running CRC-32C without materialising a
+// byte serialisation of the whole slice.
+func crcInt32s(crc uint32, xs []int32) uint32 {
+	var buf [4096]byte
+	fill := 0
+	for _, x := range xs {
+		if fill+4 > len(buf) {
+			crc = crc32.Update(crc, fpCRCTable, buf[:fill])
+			fill = 0
+		}
+		binary.LittleEndian.PutUint32(buf[fill:], uint32(x))
+		fill += 4
+	}
+	return crc32.Update(crc, fpCRCTable, buf[:fill])
+}
+
+// GraphFingerprint returns the CRC-32C fingerprint of the session's input
+// graph — the value SaveBinary writes into a .hbg header (see
+// graph.Graph.Fingerprint) — computed once and cached. Together with
+// Options.SessionKey it identifies the dataset side of a distributed work
+// descriptor: two nodes agreeing on both hold byte-identical CSR graphs and
+// build identical preprocessing from them.
+func (s *Session) GraphFingerprint() uint32 {
+	s.fpOnce.Do(func() { s.fp = s.src.Fingerprint() })
+	return s.fp
+}
+
+// OrderingFingerprint identifies the session's branch enumeration basis: a
+// CRC-32C over the algorithm name, the top-level ordering (edge order or
+// vertex order) and the cost-ordered branch schedule. Branch ranges are
+// intervals of schedule positions, so two nodes may only exchange them when
+// their OrderingFingerprints agree — equality means position i names the
+// same branch on both. The orderings are deterministic functions of the
+// graph and options, so in practice this only disagrees when the dataset or
+// options already do; it exists to turn that silent corruption into a hard
+// dispatch error.
+func (s *Session) OrderingFingerprint() uint32 {
+	s.ordOnce.Do(func() {
+		crc := crc32.Update(0, fpCRCTable, []byte(s.opts.Algorithm.String()))
+		switch s.opts.Algorithm {
+		case EBBMC, HBBMC:
+			crc = crcInt32s(crc, s.eo.Order)
+		default:
+			crc = crcInt32s(crc, s.vertOrd)
+		}
+		crc = crcInt32s(crc, s.branchSchedule())
+		s.ordFP = crc
+	})
+	return s.ordFP
+}
 
 // PrepTime returns the cost of the cached preprocessing (reduction plus
 // ordering construction), paid once in NewSession.
@@ -207,6 +290,18 @@ type QueryOptions struct {
 	// PhaseTimers enables per-phase timers for this query. It cannot turn
 	// off timers enabled in the session's Options.
 	PhaseTimers bool
+	// BranchLo and BranchHi restrict the query to the half-open interval
+	// [BranchLo, BranchHi) of top-level branch schedule positions — the
+	// execution side of a distributed work descriptor (internal/distrib).
+	// Both zero (the zero value) runs the full branch space. Positions index
+	// the session's cost-ordered branch schedule, so a set of queries whose
+	// intervals partition [0, NumTopBranches()) reports exactly the full
+	// run's clique set across their streams; the preprocessing residue
+	// (reduction cliques, isolated vertices of the edge-oriented split)
+	// belongs to the interval containing position 0. BranchHi beyond
+	// NumTopBranches() is an error: it means the range was computed against
+	// different preprocessing than this session's.
+	BranchLo, BranchHi int
 }
 
 // apply folds the overrides into the session's normalized options and
@@ -242,7 +337,30 @@ func (q QueryOptions) apply(base Options) (Options, error) {
 	if q.PhaseTimers {
 		o.PhaseTimers = true
 	}
+	if q.BranchLo < 0 || q.BranchHi < q.BranchLo {
+		return o, fmt.Errorf("core: invalid branch range [%d,%d)", q.BranchLo, q.BranchHi)
+	}
 	return o, nil
+}
+
+// branchRange is the resolved form of QueryOptions.BranchLo/BranchHi: a
+// half-open interval of branch schedule positions, or the full branch space
+// when set is false. The distinction matters beyond bounds: an unranged
+// sequential run iterates the raw ordering (the historical, cache-friendly
+// order), while any set range iterates schedule positions so that interval
+// arithmetic on descriptors stays valid.
+type branchRange struct {
+	lo, hi int
+	set    bool
+}
+
+// rng converts the query's range fields to a branchRange; [0,0) is the
+// full-run sentinel.
+func (q QueryOptions) rng() branchRange {
+	if q.BranchLo == 0 && q.BranchHi == 0 {
+		return branchRange{}
+	}
+	return branchRange{lo: q.BranchLo, hi: q.BranchHi, set: true}
 }
 
 // EnumerateWith is Enumerate with per-query overrides of the run knobs
@@ -254,7 +372,7 @@ func (s *Session) EnumerateWith(ctx context.Context, q QueryOptions, visit Visit
 	if err != nil {
 		return nil, err
 	}
-	return s.enumerate(ctx, opts, visit)
+	return s.enumerateRange(ctx, opts, q.rng(), visit)
 }
 
 // CountWith is Count with per-query overrides; see EnumerateWith.
@@ -349,8 +467,19 @@ func resolveWorkers(w int) int {
 // callers) lets a parallel request that clamps down to one worker still
 // record its fallback reason in Stats.ParallelFallback.
 func (s *Session) enumerate(ctx context.Context, opts Options, visit Visitor) (*Stats, error) {
+	return s.enumerateRange(ctx, opts, branchRange{}, visit)
+}
+
+// enumerateRange is enumerate restricted to a branch interval; rng's zero
+// value runs the full branch space.
+func (s *Session) enumerateRange(ctx context.Context, opts Options, rng branchRange, visit Visitor) (*Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if rng.set {
+		if n := s.NumTopBranches(); rng.hi > n {
+			return nil, fmt.Errorf("core: branch range [%d,%d) exceeds the session's %d top-level branches", rng.lo, rng.hi, n)
+		}
 	}
 	rc := newRunControl(ctx, opts)
 	requested := opts.Workers
@@ -358,16 +487,16 @@ func (s *Session) enumerate(ctx context.Context, opts Options, visit Visitor) (*
 	var stats *Stats
 	switch {
 	case workers <= 1:
-		stats = s.runSequential(rc, opts, visit)
+		stats = s.runSequential(rc, opts, rng, visit)
 		if requested > 1 || requested == UseAllCores {
 			stats.ParallelFallback = "single worker"
 		}
 	default:
 		if reason := sequentialFallback(opts, workers); reason != "" {
-			stats = s.runSequential(rc, opts, visit)
+			stats = s.runSequential(rc, opts, rng, visit)
 			stats.ParallelFallback = reason
 		} else {
-			stats = s.runParallel(rc, opts, workers, visit)
+			stats = s.runParallel(rc, opts, workers, rng, visit)
 		}
 	}
 	return stats, rc.err()
@@ -413,22 +542,45 @@ func emitReduced(rc *runControl, stats *Stats, cliques [][]int32, visit Visitor)
 	}
 }
 
-// runSequential executes one query on a single goroutine.
-func (s *Session) runSequential(rc *runControl, opts Options, visit Visitor) *Stats {
+// runSequential executes one query on a single goroutine. A set rng
+// restricts the run to its branch interval: ranged runs iterate schedule
+// positions (unranged sequential runs keep the historical raw-order
+// iteration) and the preprocessing residue — reduction cliques, isolated
+// vertices of the edge-oriented split — is emitted only by the interval
+// containing position 0, so shards that partition the branch space
+// partition the clique set too.
+func (s *Session) runSequential(rc *runControl, opts Options, rng branchRange, visit Visitor) *Stats {
 	stats := s.baseStats(1)
 	enum := time.Now()
-	emitReduced(rc, stats, s.red.Cliques, visit)
+	if rng.lo == 0 {
+		emitReduced(rc, stats, s.red.Cliques, visit)
+	}
 	if !rc.halted() {
 		e := newEngine(s.res, s.red, opts, stats, visit, rc)
 		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
 		switch opts.Algorithm {
 		case BK, BKPivot:
-			e.runWholeGraph()
+			// The single whole-graph branch is position 0 of a one-branch
+			// schedule; an interval excluding it has nothing to run.
+			if !rng.set || (rng.lo == 0 && rng.hi > 0) {
+				e.runWholeGraph()
+			}
 		case BKRef, BKDegen, BKRcd, BKFac, BKDegree:
-			e.runVertexOrdered(s.vertOrd, s.vertPos)
+			if !rng.set {
+				e.runVertexOrdered(s.vertOrd, s.vertPos)
+			} else {
+				e.runVertexOrderedSched(s.vertOrd, s.vertPos, s.branchSchedule(), rng.lo, rng.hi)
+			}
 		case EBBMC, HBBMC:
-			e.runEdgeOrdered()
+			if !rng.set {
+				e.runEdgeOrdered()
+			} else {
+				e.runEdgeOrderedSched(s.branchSchedule(), rng.lo, rng.hi)
+				if rng.lo == 0 && !rc.halted() {
+					e.runIsolatedVertices()
+				}
+			}
 		}
 	}
 	stats.EnumTime = time.Since(enum)
@@ -440,10 +592,12 @@ func (s *Session) runSequential(rc *runControl, opts Options, visit Visitor) *St
 // cancellation and early stops at top-branch granularity, so the call
 // returns within one branch granule of the signal with all goroutines
 // joined.
-func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit Visitor) *Stats {
+func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng branchRange, visit Visitor) *Stats {
 	stats := s.baseStats(workers)
 	enum := time.Now()
-	emitReduced(rc, stats, s.red.Cliques, visit)
+	if rng.lo == 0 {
+		emitReduced(rc, stats, s.red.Cliques, visit)
+	}
 	if rc.halted() {
 		stats.EnumTime = time.Since(enum)
 		return stats
@@ -454,11 +608,15 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit V
 	if edgeDriven {
 		items = len(s.eo.Order)
 	}
+	lo, hi := 0, items
+	if rng.set {
+		lo, hi = rng.lo, rng.hi
+	}
 	var sched []int32
 	if !ablateStaticStride {
 		sched = s.branchSchedule()
 	}
-	queue := newWorkQueue(items, workers, opts.ParallelChunkSize)
+	queue := newWorkQueueRange(lo, hi, workers, opts.ParallelChunkSize)
 	queue.rampUp = sched != nil && opts.ParallelChunkSize <= 0
 	sink := &emitSink{visit: visit, rc: rc}
 
@@ -487,9 +645,9 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit V
 			defer wg.Done()
 			if ablateStaticStride {
 				if edgeDriven {
-					e.runEdgeOrderedRange(offset, items, workers)
+					e.runEdgeOrderedRange(lo+offset, hi, workers)
 				} else {
-					e.runVertexOrderedRange(s.vertOrd, s.vertPos, offset, items, workers)
+					e.runVertexOrderedRange(s.vertOrd, s.vertPos, lo+offset, hi, workers)
 				}
 			} else {
 				for !rc.halted() {
@@ -512,8 +670,9 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, visit V
 	wg.Wait()
 	// Isolated vertices of the edge-ordered drivers are handled once,
 	// outside the workers; with the workers joined, the sink lock is
-	// uncontended.
-	if edgeDriven && !rc.halted() {
+	// uncontended. Like the reduction cliques they belong to the branch
+	// interval containing position 0.
+	if edgeDriven && lo == 0 && !rc.halted() {
 		e := newEngine(s.res, s.red, opts, stats, sink.direct(), rc)
 		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc

@@ -100,7 +100,29 @@ type Stats struct {
 	// flushes globally; the coordinator copies the total after the join.
 	//hbbmc:nomerge read from the shared emit sink after workers join
 	EmitBatches int64 `json:"emit_batches"`
+
+	// Shard counters of the distributed coordinator (internal/distrib and
+	// the mced -peers mode): branch-range descriptors dispatched to peer
+	// nodes, dispatch attempts that failed and were re-dispatched or
+	// re-split, and descriptors abandoned after the retry budget. They
+	// describe the fan-out itself, not any single node's enumeration, so
+	// worker shards never carry them and merging them would double-count
+	// across coordinator tiers.
+	//hbbmc:nomerge distributed-coordinator only, set after the shard fan-out
+	ShardsDispatched int64 `json:"shards_dispatched,omitempty"`
+	//hbbmc:nomerge distributed-coordinator only, set after the shard fan-out
+	ShardsRetried int64 `json:"shards_retried,omitempty"`
+	//hbbmc:nomerge distributed-coordinator only, set after the shard fan-out
+	ShardsFailed int64 `json:"shards_failed,omitempty"`
 }
+
+// MergeStats folds src's per-worker counters into dst — the cross-shard
+// aggregation entry point of the distributed coordinator, which sums the
+// Stats of remote branch-range shards exactly like the parallel driver sums
+// per-worker Stats. Fields annotated //hbbmc:nomerge (wall-clock spans,
+// graph properties, the shard counters themselves) are left for the caller
+// to seed; see the field comments in Stats.
+func MergeStats(dst, src *Stats) { dst.merge(src) }
 
 // ETRatio returns b0/b of Table V (0 when no plex branches were seen).
 func (s *Stats) ETRatio() float64 {

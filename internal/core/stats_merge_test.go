@@ -22,6 +22,9 @@ var mergeExempt = map[string]bool{
 	"EnumTime":         true,
 	"Workers":          true,
 	"EmitBatches":      true,
+	"ShardsDispatched": true,
+	"ShardsRetried":    true,
+	"ShardsFailed":     true,
 }
 
 // TestMergeCoversEveryNumericField sets every numeric field of a worker

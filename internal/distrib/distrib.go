@@ -1,0 +1,130 @@
+// Package distrib defines the serialisable work descriptors of the
+// distributed enumeration mode: a dataset identity (the .hbg payload CRC of
+// the graph plus the canonical options SessionKey), the fingerprint of the
+// branch enumeration basis (ordering + cost schedule), and a half-open
+// top-level branch interval [Lo, Hi). A coordinator splits a session's
+// branch space into descriptors with Plan and dispatches them to peer mced
+// nodes over the jobs HTTP API (branch_range on POST /v1/jobs); any node
+// whose session agrees on every identity field executes the interval via
+// QueryOptions.BranchLo/BranchHi and streams the shard's cliques back.
+//
+// The split uses the same guided ramp-up policy as the in-process parallel
+// work queue (core.RampUpChunk): single branches at the expensive head of
+// the cost-ordered schedule, growing chunks toward the cheap tail — local
+// workers and remote shards consume the same descriptor stream shape, the
+// only difference being who pulls it.
+package distrib
+
+import (
+	"fmt"
+
+	"github.com/graphmining/hbbmc/internal/core"
+)
+
+// Descriptor is one serialisable unit of distributed work: execute branch
+// schedule positions [Lo, Hi) of the session identified by the other
+// fields. A descriptor with Lo == Hi == 0 is the residue-only shard of a
+// session whose branch space is empty (reduction cliques and isolated
+// vertices still need one executor).
+type Descriptor struct {
+	// Dataset is the registry name the executing node resolves the graph
+	// under; GraphCRC (the .hbg payload CRC-32C, 8 hex digits) is the
+	// identity that actually matters — equal CRCs mean byte-identical CSR
+	// graphs regardless of the file the node loaded.
+	Dataset  string `json:"dataset"`
+	GraphCRC string `json:"graph_crc"`
+	// SessionKey is the canonical options string (Options.SessionKey): the
+	// algorithm-defining fields that shape the cached preprocessing.
+	SessionKey string `json:"session_key"`
+	// Ordering fingerprints the branch enumeration basis (ordering array +
+	// cost schedule, see Session.OrderingFingerprint, 8 hex digits): equal
+	// values mean position i names the same top-level branch on both nodes.
+	Ordering string `json:"ordering"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+}
+
+// FormatCRC renders a fingerprint the way descriptors carry it.
+func FormatCRC(crc uint32) string { return fmt.Sprintf("%08x", crc) }
+
+// ForSession builds the descriptor template of a session: the identity
+// fields plus the full branch interval [0, NumTopBranches()). Plan splits
+// it; WithRange narrows it.
+func ForSession(dataset string, s *core.Session) Descriptor {
+	return Descriptor{
+		Dataset:    dataset,
+		GraphCRC:   FormatCRC(s.GraphFingerprint()),
+		SessionKey: s.Options().SessionKey(),
+		Ordering:   FormatCRC(s.OrderingFingerprint()),
+		Lo:         0,
+		Hi:         s.NumTopBranches(),
+	}
+}
+
+// WithRange returns a copy of d narrowed to [lo, hi).
+func (d Descriptor) WithRange(lo, hi int) Descriptor {
+	d.Lo, d.Hi = lo, hi
+	return d
+}
+
+// Branches returns the interval width.
+func (d Descriptor) Branches() int { return d.Hi - d.Lo }
+
+// Validate checks the interval shape.
+func (d Descriptor) Validate() error {
+	if d.Lo < 0 || d.Hi < d.Lo {
+		return fmt.Errorf("distrib: invalid branch interval [%d,%d)", d.Lo, d.Hi)
+	}
+	return nil
+}
+
+// CompatibleWith reports why a node advertising identity o must not execute
+// d (nil when it may). The dataset name is deliberately not compared — it
+// is per-node addressing; the fingerprints are the identity.
+func (d Descriptor) CompatibleWith(o Descriptor) error {
+	if d.GraphCRC != o.GraphCRC {
+		return fmt.Errorf("distrib: dataset fingerprint mismatch: descriptor %s, node %s", d.GraphCRC, o.GraphCRC)
+	}
+	if d.SessionKey != o.SessionKey {
+		return fmt.Errorf("distrib: session key mismatch: descriptor %q, node %q", d.SessionKey, o.SessionKey)
+	}
+	if d.Ordering != o.Ordering {
+		return fmt.Errorf("distrib: ordering fingerprint mismatch: descriptor %s, node %s", d.Ordering, o.Ordering)
+	}
+	return nil
+}
+
+// Halve splits d into two non-empty descriptors covering the same interval.
+// ok is false when the interval has fewer than two branches — a singleton
+// cannot be re-split, only re-dispatched.
+func (d Descriptor) Halve() (a, b Descriptor, ok bool) {
+	if d.Branches() < 2 {
+		return d, d, false
+	}
+	mid := d.Lo + d.Branches()/2
+	return d.WithRange(d.Lo, mid), d.WithRange(mid, d.Hi), true
+}
+
+// Plan splits the template's branch interval into dispatchable descriptors
+// using the shared guided ramp-up policy: chunks of core.RampUpChunk
+// branches (relative to the interval start — single branches at the
+// expensive head of the cost-ordered schedule, growing toward the cheap
+// tail), capped at maxBranches (0 = no cap) to bound per-shard buffering
+// and straggler blast radius. consumers is the number of peers pulling
+// shards. An empty template interval yields one residue-only descriptor, so
+// the reduction cliques and isolated vertices always have an executor.
+func Plan(tmpl Descriptor, consumers, maxBranches int) []Descriptor {
+	if tmpl.Branches() <= 0 {
+		return []Descriptor{tmpl}
+	}
+	var out []Descriptor
+	for lo := tmpl.Lo; lo < tmpl.Hi; {
+		chunk := core.RampUpChunk(lo-tmpl.Lo, tmpl.Hi-lo, consumers)
+		if maxBranches > 0 && chunk > maxBranches {
+			chunk = maxBranches
+		}
+		out = append(out, tmpl.WithRange(lo, lo+chunk))
+		lo += chunk
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package distrib
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/graphmining/hbbmc/internal/core"
+	"github.com/graphmining/hbbmc/internal/gen"
+)
+
+func testTemplate(t *testing.T) (Descriptor, *core.Session) {
+	t.Helper()
+	g := gen.NoisyCliques(80, 8, 6, 200, 17)
+	s, err := core.NewSession(g, core.Options{Algorithm: core.HBBMC, ET: 3, GR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ForSession("test", s), s
+}
+
+// TestPlanCoversExactly: any (consumers, cap) combination must tile the
+// template interval exactly — no gap, no overlap — with non-decreasing
+// chunk sizes up to the cap (the ramp-up shape: small at the expensive
+// head, big at the cheap tail).
+func TestPlanCoversExactly(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	if tmpl.Branches() == 0 {
+		t.Fatal("test graph produced no branches")
+	}
+	for _, consumers := range []int{1, 2, 5} {
+		for _, cap := range []int{0, 1, 7, 1 << 14} {
+			plan := Plan(tmpl, consumers, cap)
+			pos, prev := tmpl.Lo, 0
+			for i, d := range plan {
+				if d.Lo != pos {
+					t.Fatalf("consumers=%d cap=%d: shard %d starts at %d, want %d", consumers, cap, i, d.Lo, pos)
+				}
+				if d.Branches() < 1 {
+					t.Fatalf("consumers=%d cap=%d: empty shard %d", consumers, cap, i)
+				}
+				if cap > 0 && d.Branches() > cap {
+					t.Fatalf("consumers=%d cap=%d: shard %d has %d branches", consumers, cap, i, d.Branches())
+				}
+				if d.Branches() < prev && (cap == 0 || prev < cap) && d.Hi != tmpl.Hi {
+					t.Fatalf("consumers=%d cap=%d: chunk size shrank mid-plan at shard %d (%d after %d)", consumers, cap, i, d.Branches(), prev)
+				}
+				prev = d.Branches()
+				pos = d.Hi
+				if err := d.CompatibleWith(tmpl); err != nil {
+					t.Fatalf("shard %d incompatible with its own template: %v", i, err)
+				}
+			}
+			if pos != tmpl.Hi {
+				t.Fatalf("consumers=%d cap=%d: plan ends at %d, want %d", consumers, cap, pos, tmpl.Hi)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesLocalQueue: with no cap, the plan's chunk boundaries are
+// exactly what the in-process ramp-up work queue would hand to the same
+// number of consumers — the "same descriptor stream" refactor contract.
+func TestPlanMatchesLocalQueue(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	const consumers = 3
+	plan := Plan(tmpl, consumers, 0)
+	pos := 0
+	for i, d := range plan {
+		want := core.RampUpChunk(pos, tmpl.Hi-tmpl.Lo-pos, consumers)
+		if d.Branches() != want {
+			t.Fatalf("shard %d: %d branches, queue policy says %d", i, d.Branches(), want)
+		}
+		pos += want
+	}
+}
+
+func TestPlanEmptyInterval(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	empty := tmpl.WithRange(0, 0)
+	plan := Plan(empty, 4, 16)
+	if len(plan) != 1 || plan[0].Lo != 0 || plan[0].Hi != 0 {
+		t.Fatalf("empty interval must yield one residue-only descriptor, got %v", plan)
+	}
+}
+
+func TestHalve(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	d := tmpl.WithRange(10, 17)
+	a, b, ok := d.Halve()
+	if !ok || a.Lo != 10 || a.Hi != 13 || b.Lo != 13 || b.Hi != 17 {
+		t.Fatalf("Halve([10,17)) = %v %v %v", a, b, ok)
+	}
+	if _, _, ok := tmpl.WithRange(4, 5).Halve(); ok {
+		t.Fatal("a singleton interval must not halve")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	d := tmpl.WithRange(3, 9)
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Descriptor
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip changed the descriptor: %+v vs %+v", back, d)
+	}
+}
+
+func TestCompatibleWithDetectsEveryMismatch(t *testing.T) {
+	tmpl, _ := testTemplate(t)
+	cases := []func(Descriptor) Descriptor{
+		func(d Descriptor) Descriptor { d.GraphCRC = "00000000"; return d },
+		func(d Descriptor) Descriptor { d.SessionKey = "algo=BK"; return d },
+		func(d Descriptor) Descriptor { d.Ordering = "ffffffff"; return d },
+	}
+	for i, mutate := range cases {
+		if err := tmpl.CompatibleWith(mutate(tmpl)); err == nil {
+			t.Fatalf("case %d: mismatch not detected", i)
+		}
+	}
+	other := tmpl
+	other.Dataset = "renamed"
+	if err := tmpl.CompatibleWith(other); err != nil {
+		t.Fatalf("dataset name must not participate in identity: %v", err)
+	}
+	if err := tmpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.WithRange(5, 2).Validate(); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}

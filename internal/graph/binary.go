@@ -43,6 +43,39 @@ var hostLittleEndian = func() bool {
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }()
 
+// Fingerprint returns the CRC-32C checksum of the graph's canonical .hbg
+// payload — the exact value SaveBinary writes into the snapshot header —
+// computed incrementally without materialising the payload. Because the CSR
+// form is canonical (sorted adjacency, lexicographic edge numbering), two
+// graphs fingerprint equal exactly when they are the same graph, regardless
+// of which input format or edge order they were parsed from. The distributed
+// coordinator uses this as the dataset identity when dispatching branch
+// ranges to peers. O(n+m); callers cache it (see Session.GraphFingerprint).
+func (g *Graph) Fingerprint() uint32 {
+	var buf [8192]byte
+	crc, fill := uint32(0), 0
+	flush := func() {
+		crc = crc32.Update(crc, hbgCRCTable, buf[:fill])
+		fill = 0
+	}
+	for _, o := range g.offsets {
+		if fill+8 > len(buf) {
+			flush()
+		}
+		binary.LittleEndian.PutUint64(buf[fill:], uint64(o))
+		fill += 8
+	}
+	for _, a := range g.adj {
+		if fill+4 > len(buf) {
+			flush()
+		}
+		binary.LittleEndian.PutUint32(buf[fill:], uint32(a))
+		fill += 4
+	}
+	flush()
+	return crc
+}
+
 // SaveBinary writes g as a .hbg snapshot.
 func (g *Graph) SaveBinary(w io.Writer) error {
 	n, m := g.NumVertices(), g.NumEdges()

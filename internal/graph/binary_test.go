@@ -152,3 +152,36 @@ func TestBinaryAfterEveryLoader(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintMatchesSnapshotCRC pins Fingerprint to its contract: it is
+// exactly the CRC-32C SaveBinary writes into the .hbg header, and it
+// survives a snapshot round trip (same graph, same identity).
+func TestFingerprintMatchesSnapshotCRC(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	graphs := []*Graph{
+		NewBuilder(0).MustBuild(),
+		NewBuilder(7).MustBuild(),
+		randomGraph(rng, 40, 200),
+		randomGraph(rng, 3000, 9000), // payload larger than the 8 KiB CRC buffer
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.SaveBinary(&buf); err != nil {
+			t.Fatalf("graph %d: save: %v", i, err)
+		}
+		headerCRC := binary.LittleEndian.Uint32(buf.Bytes()[24:28])
+		if fp := g.Fingerprint(); fp != headerCRC {
+			t.Fatalf("graph %d: Fingerprint %08x != snapshot header CRC %08x", i, fp, headerCRC)
+		}
+		back, err := LoadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("graph %d: load: %v", i, err)
+		}
+		if back.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("graph %d: fingerprint changed across a snapshot round trip", i)
+		}
+	}
+	if a, b := randomGraph(rng, 50, 220), randomGraph(rng, 50, 221); a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct random graphs collided — Fingerprint is likely constant")
+	}
+}

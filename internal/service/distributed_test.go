@@ -1,0 +1,405 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// cluster is an in-process distributed deployment: worker mced nodes plus
+// one coordinator whose Peers point at them. Every node registers the same
+// graph (each from its own .hbg copy — the dataset fingerprint is content
+// derived, so the copies agree).
+type cluster struct {
+	coord   *testEnv
+	workers []*testEnv
+}
+
+func newCluster(t *testing.T, workers int, name string, g *hbbmc.Graph, mut func(*service.Config)) *cluster {
+	t.Helper()
+	c := &cluster{}
+	var peers []string
+	for i := 0; i < workers; i++ {
+		w := newTestEnv(t, service.Config{})
+		w.registerGraph(name, g)
+		c.workers = append(c.workers, w)
+		peers = append(peers, w.ts.URL)
+	}
+	cfg := service.Config{
+		Peers:        peers,
+		ShardTimeout: 30 * time.Second,
+		// Small shards so even test-sized graphs fan out into several
+		// dispatches — the interesting paths (merge, rotation, bounded
+		// in-flight) all need shard count > peer count.
+		ShardMaxBranches: 7,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	// The coordinator is created last so its t.Cleanup shutdown runs first
+	// (LIFO): coordinator jobs reach a terminal state before the workers
+	// they talk to disappear.
+	c.coord = newTestEnv(t, cfg)
+	c.coord.registerGraph(name, g)
+	return c
+}
+
+// cliqueKey canonicalises one clique for set comparison.
+func cliqueKey(c []int32) string {
+	s := append([]int32(nil), c...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// cliqueSet builds the canonical set, failing on duplicates — a duplicate
+// in a merged stream means a re-dispatched shard leaked its first attempt.
+func cliqueSet(t *testing.T, cliques [][]int32) map[string]bool {
+	t.Helper()
+	set := make(map[string]bool, len(cliques))
+	for _, c := range cliques {
+		k := cliqueKey(c)
+		if set[k] {
+			t.Fatalf("duplicate clique %v in merged stream", c)
+		}
+		set[k] = true
+	}
+	return set
+}
+
+// refCliqueSet enumerates the graph in-process as the ground truth.
+func refCliqueSet(t *testing.T, g *hbbmc.Graph) map[string]bool {
+	t.Helper()
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques, _, err := sess.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cliqueSet(t, cliques)
+}
+
+func sameCliqueSet(t *testing.T, label string, got, want map[string]bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cliques, want %d", label, len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("%s: clique {%s} missing from merged stream", label, k)
+		}
+	}
+}
+
+// parallelisableAlgos are the algorithms whose top-level branch space has
+// more than one position — the ones a coordinator can actually shard. (BK
+// and BKPivot are a single whole-graph branch: legal, but one shard.)
+var parallelisableAlgos = []string{"bkref", "bkdegen", "bkdegree", "bkrcd", "bkfac", "ebbmc", "hbbmc"}
+
+// TestDistributedCrossNodeEquivalence is the PR-1 cross-worker equivalence
+// suite generalised across nodes: for 1-, 2- and 3-worker clusters and
+// every parallelisable algorithm, the merged stream must carry exactly the
+// clique set a local enumeration produces.
+func TestDistributedCrossNodeEquivalence(t *testing.T) {
+	withTestProcs(t, 2)
+	g := hbbmc.GenerateER(200, 1200, 7)
+	want := refCliqueSet(t, g)
+
+	for _, nodes := range []int{1, 2, 3} {
+		c := newCluster(t, nodes, "er", g, nil)
+		for _, algo := range parallelisableAlgos {
+			label := fmt.Sprintf("nodes=%d/%s", nodes, algo)
+			v := c.coord.startJob(map[string]any{
+				"dataset": "er", "mode": "enumerate", "algorithm": algo, "workers": 2,
+			})
+			if !v.Sharded {
+				t.Fatalf("%s: coordinator job not marked sharded", label)
+			}
+			cliques, trailer := streamJob(t, c.coord, v.ID)
+			sameCliqueSet(t, label, cliqueSet(t, cliques), want)
+			if trailer == nil || trailer["state"] != string(service.StateDone) {
+				t.Fatalf("%s: trailer = %v, want done", label, trailer)
+			}
+			fin := c.coord.waitJob(v.ID)
+			if fin.Stats == nil || fin.Stats.Cliques != int64(len(want)) {
+				t.Fatalf("%s: stats = %+v, want %d cliques", label, fin.Stats, len(want))
+			}
+			if fin.Stats.ShardsDispatched < 1 {
+				t.Fatalf("%s: ShardsDispatched = %d, want ≥ 1", label, fin.Stats.ShardsDispatched)
+			}
+			if fin.Stats.Workers != nodes {
+				t.Fatalf("%s: stats.Workers = %d, want the %d peers", label, fin.Stats.Workers, nodes)
+			}
+		}
+		if dispatched := c.coord.metric("shards_dispatched"); dispatched < int64(len(parallelisableAlgos)) {
+			t.Fatalf("nodes=%d: shards_dispatched = %d, want ≥ %d", nodes, dispatched, len(parallelisableAlgos))
+		}
+	}
+}
+
+// TestDistributedSingleBranchAlgorithms: BK and BKPivot expose one
+// whole-graph branch; a coordinator must still run them (as one shard).
+func TestDistributedSingleBranchAlgorithms(t *testing.T) {
+	g := hbbmc.GenerateER(120, 600, 11)
+	want := refCliqueSet(t, g)
+	c := newCluster(t, 2, "er", g, nil)
+	for _, algo := range []string{"bk", "bkpivot"} {
+		v := c.coord.startJob(map[string]any{"dataset": "er", "algorithm": algo})
+		cliques, trailer := streamJob(t, c.coord, v.ID)
+		sameCliqueSet(t, algo, cliqueSet(t, cliques), want)
+		if trailer["state"] != string(service.StateDone) {
+			t.Fatalf("%s: trailer = %v, want done", algo, trailer)
+		}
+	}
+}
+
+// TestDistributedTinyGraph drives a near-degenerate graph (a path, which
+// the greedy reduction may fully consume) through a cluster: the
+// residue-owning shard must still deliver those cliques exactly once.
+func TestDistributedTinyGraph(t *testing.T) {
+	b := hbbmc.NewBuilder(6)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustBuild()
+	want := refCliqueSet(t, g)
+	c := newCluster(t, 2, "path", g, nil)
+	v := c.coord.startJob(map[string]any{"dataset": "path", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, c.coord, v.ID)
+	sameCliqueSet(t, "path", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+}
+
+// TestDistributedMaxCliquesExact: the global budget must cut the merged
+// stream at exactly max_cliques even though shards complete concurrently
+// and each buffers more than the remaining budget.
+func TestDistributedMaxCliquesExact(t *testing.T) {
+	g := hbbmc.GenerateER(200, 1200, 8)
+	want := refCliqueSet(t, g)
+	if len(want) < 40 {
+		t.Fatalf("test graph too small: %d cliques", len(want))
+	}
+	c := newCluster(t, 2, "er", g, nil)
+
+	const limit = 25
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "enumerate", "max_cliques": limit})
+	cliques, trailer := streamJob(t, c.coord, v.ID)
+	if len(cliques) != limit {
+		t.Fatalf("streamed %d cliques, want exactly %d", len(cliques), limit)
+	}
+	got := cliqueSet(t, cliques)
+	for k := range got {
+		if !want[k] {
+			t.Fatalf("stream delivered {%s}, not a maximal clique of the graph", k)
+		}
+	}
+	if trailer["state"] != string(service.StateStopped) || trailer["stop_reason"] != "max_cliques" {
+		t.Fatalf("trailer = %v, want stopped/max_cliques", trailer)
+	}
+	fin := c.coord.waitJob(v.ID)
+	if fin.State != service.StateStopped || fin.StopReason != "max_cliques" {
+		t.Fatalf("job ended %s/%s, want stopped/max_cliques", fin.State, fin.StopReason)
+	}
+	if fin.Stats == nil || fin.Stats.Cliques != limit {
+		t.Fatalf("stats.Cliques = %+v, want %d", fin.Stats, limit)
+	}
+}
+
+// TestDistributedCountMode: a count job fans out the same way but merges
+// only counters — and the shard bookkeeping lands in the nomerge fields.
+func TestDistributedCountMode(t *testing.T) {
+	g := hbbmc.GenerateER(200, 1200, 9)
+	want := countCliques(t, g)
+	c := newCluster(t, 2, "er", g, nil)
+
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "count"})
+	fin := c.coord.waitJob(v.ID)
+	if fin.State != service.StateDone {
+		t.Fatalf("count job ended %s: %s", fin.State, fin.Error)
+	}
+	if !fin.Sharded {
+		t.Fatal("count job not marked sharded")
+	}
+	if fin.Stats == nil || fin.Stats.Cliques != want {
+		t.Fatalf("stats = %+v, want %d cliques", fin.Stats, want)
+	}
+	if fin.Stats.ShardsDispatched < 2 {
+		t.Fatalf("ShardsDispatched = %d, want ≥ 2 (ShardMaxBranches forces a fan-out)", fin.Stats.ShardsDispatched)
+	}
+	if fin.Stats.ShardsFailed != 0 {
+		t.Fatalf("ShardsFailed = %d on a healthy cluster", fin.Stats.ShardsFailed)
+	}
+	if emitted := c.coord.metric("cliques_emitted"); emitted != want {
+		t.Fatalf("coordinator cliques_emitted = %d, want %d", emitted, want)
+	}
+	if dispatched := c.coord.metric("shards_dispatched"); dispatched < 2 {
+		t.Fatalf("shards_dispatched metric = %d, want ≥ 2", dispatched)
+	}
+}
+
+// TestDistributedCountMaxCliques: the budget applies to count jobs too —
+// the merged count is clamped and the job reports the max_cliques stop.
+func TestDistributedCountMaxCliques(t *testing.T) {
+	g := hbbmc.GenerateER(200, 1200, 10)
+	want := countCliques(t, g)
+	if want < 30 {
+		t.Fatalf("test graph too small: %d cliques", want)
+	}
+	c := newCluster(t, 2, "er", g, nil)
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "count", "max_cliques": 20})
+	fin := c.coord.waitJob(v.ID)
+	if fin.State != service.StateStopped || fin.StopReason != "max_cliques" {
+		t.Fatalf("job ended %s/%s, want stopped/max_cliques", fin.State, fin.StopReason)
+	}
+	if fin.Stats == nil || fin.Stats.Cliques != 20 {
+		t.Fatalf("stats = %+v, want the clamped count 20", fin.Stats)
+	}
+}
+
+// TestDistributedCancelNoOrphans: DELETE on the coordinator job must reach
+// the remote side — afterwards no worker may be left with a queued or
+// running job (the no-orphaned-remote-jobs guarantee).
+func TestDistributedCancelNoOrphans(t *testing.T) {
+	g := hbbmc.GenerateER(400, 4000, 12)
+	c := newCluster(t, 2, "er", g, func(cfg *service.Config) {
+		cfg.ShardMaxBranches = 3 // many small shards: some always in flight
+	})
+
+	// A one-slot stream buffer with no reader: the coordinator's merge
+	// blocks on delivery, so the job cannot finish before the DELETE.
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "enumerate", "buffer": 1})
+	time.Sleep(50 * time.Millisecond) // let shards reach the peers
+	resp, data := c.coord.do("DELETE", "/v1/jobs/"+v.ID, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, data)
+	}
+	fin := c.coord.waitJob(v.ID)
+	if fin.State != service.StateStopped || fin.StopReason != "cancelled" {
+		t.Fatalf("job ended %s/%s, want stopped/cancelled", fin.State, fin.StopReason)
+	}
+
+	// Every job on every worker must reach a terminal state promptly: the
+	// coordinator either consumed it, cancelled it (DELETE), or its own
+	// shard deadline would eventually fire — but the test only waits on the
+	// first two.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, w := range c.workers {
+		for {
+			var list struct {
+				Jobs []service.JobView `json:"jobs"`
+			}
+			resp, data := w.do("GET", "/v1/jobs", nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("worker job list: %d %s", resp.StatusCode, data)
+			}
+			if err := json.Unmarshal(data, &list); err != nil {
+				t.Fatal(err)
+			}
+			live := 0
+			for _, j := range list.Jobs {
+				if j.State == service.StateQueued || j.State == service.StateRunning {
+					live++
+				}
+			}
+			if live == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s still has %d live jobs after coordinator cancel: %+v", w.ts.URL, live, list.Jobs)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// TestDistributedInfoEndpoint: /v1/info reports the node identity the
+// coordinator's peer probe keys on, including per-dataset fingerprints
+// once graphs are loaded.
+func TestDistributedInfoEndpoint(t *testing.T) {
+	g := hbbmc.GenerateER(100, 500, 13)
+	c := newCluster(t, 1, "er", g, nil)
+
+	// A job forces the worker to load the graph, which publishes its
+	// fingerprint.
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "count"})
+	if fin := c.coord.waitJob(v.ID); fin.State != service.StateDone {
+		t.Fatalf("count ended %s: %s", fin.State, fin.Error)
+	}
+
+	var coordInfo, workerInfo struct {
+		Version     string                `json:"version"`
+		GoMaxProcs  int                   `json:"gomaxprocs"`
+		WorkerSlots int                   `json:"worker_slots"`
+		Peers       []string              `json:"peers"`
+		Datasets    []service.DatasetInfo `json:"datasets"`
+	}
+	resp, data := c.coord.do("GET", "/v1/info", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/info: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &coordInfo); err != nil {
+		t.Fatal(err)
+	}
+	if coordInfo.Version != service.Version || coordInfo.GoMaxProcs < 1 || coordInfo.WorkerSlots < 1 {
+		t.Fatalf("coordinator info = %+v", coordInfo)
+	}
+	if len(coordInfo.Peers) != 1 || coordInfo.Peers[0] != c.workers[0].ts.URL {
+		t.Fatalf("coordinator peers = %v, want the one worker", coordInfo.Peers)
+	}
+
+	resp, data = c.workers[0].do("GET", "/v1/info", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker /v1/info: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &workerInfo); err != nil {
+		t.Fatal(err)
+	}
+	if len(workerInfo.Datasets) != 1 || workerInfo.Datasets[0].Name != "er" {
+		t.Fatalf("worker datasets = %+v", workerInfo.Datasets)
+	}
+	wantFP := fmt.Sprintf("%08x", g.Fingerprint())
+	if got := workerInfo.Datasets[0].Fingerprint; got != wantFP {
+		t.Fatalf("worker dataset fingerprint = %q, want %q", got, wantFP)
+	}
+	if len(workerInfo.Peers) != 0 {
+		t.Fatalf("worker reports peers %v, want none", workerInfo.Peers)
+	}
+}
+
+// TestShardJobViewExposesBranchRange: a worker executing a shard reports
+// its interval, so operators can see which slice of the schedule a remote
+// job owns.
+func TestShardJobViewExposesBranchRange(t *testing.T) {
+	g := hbbmc.GenerateER(100, 500, 14)
+	e := newTestEnv(t, service.Config{})
+	e.registerGraph("er", g)
+
+	v := e.startJob(map[string]any{
+		"dataset": "er", "mode": "count", "branch_range": []int{1, 4},
+	})
+	fin := e.waitJob(v.ID)
+	if fin.State != service.StateDone {
+		t.Fatalf("shard job ended %s: %s", fin.State, fin.Error)
+	}
+	if fin.BranchRange == nil || *fin.BranchRange != [2]int{1, 4} {
+		t.Fatalf("BranchRange = %v, want [1,4)", fin.BranchRange)
+	}
+	if fin.Sharded {
+		t.Fatal("a worker-side shard job must not be marked sharded (that flag is the coordinator's)")
+	}
+}

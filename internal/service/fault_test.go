@@ -1,0 +1,395 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// wrappedWorker is a real worker node behind a fault-injecting interceptor:
+// requests the interceptor declines fall through to the genuine mced
+// handler, so the node behaves correctly except for the programmed fault.
+type wrappedWorker struct {
+	ts *httptest.Server
+}
+
+// intercept returns true when it fully handled the request.
+type intercept func(w http.ResponseWriter, r *http.Request, inner http.Handler) bool
+
+func newWrappedWorker(t *testing.T, name string, g *hbbmc.Graph, cfg service.Config, ic intercept) *wrappedWorker {
+	t.Helper()
+	srv := service.New(cfg)
+	path := filepath.Join(t.TempDir(), name+".hbg")
+	if err := g.SaveBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Registry().Register(name, path, "auto"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ic != nil && ic(w, r, srv) {
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("wrapped worker shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return &wrappedWorker{ts: ts}
+}
+
+// newCoordinatorEnv starts a coordinator over the given peer URLs with the
+// dataset registered locally (the coordinator needs its own session for
+// planning).
+func newCoordinatorEnv(t *testing.T, name string, g *hbbmc.Graph, peers []string, mut func(*service.Config)) *testEnv {
+	t.Helper()
+	cfg := service.Config{
+		Peers:            peers,
+		ShardTimeout:     30 * time.Second,
+		ShardMaxBranches: 7,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e := newTestEnv(t, cfg)
+	e.registerGraph(name, g)
+	return e
+}
+
+// TestFaultPersistent500FailsOver: one peer 500s every job creation, the
+// other is healthy. Every shard must fail over and the merged result stay
+// exact — a hard peer outage costs retries, never cliques.
+func TestFaultPersistent500FailsOver(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 21)
+	want := refCliqueSet(t, g)
+
+	// The dead peer still answers the /v1/info probe (so it is "usable")
+	// but rejects every POST /v1/jobs with 500.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/info" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"version":"stub","gomaxprocs":1,"worker_slots":1,"datasets":[{"name":"er","path":"x","format":"auto","loaded":false,"sessions":0}]}`)
+			return
+		}
+		http.Error(w, "injected outage", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	healthy := newWrappedWorker(t, "er", g, service.Config{}, nil)
+
+	e := newCoordinatorEnv(t, "er", g, []string{dead.URL, healthy.ts.URL}, nil)
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, e, v.ID)
+	if len(cliques) != len(want) {
+		fin := e.waitJob(v.ID)
+		t.Fatalf("failover: %d cliques, want %d; trailer=%v stats=%+v", len(cliques), len(want), trailer, fin.Stats)
+	}
+	sameCliqueSet(t, "failover", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+	fin := e.waitJob(v.ID)
+	if fin.Stats == nil || fin.Stats.ShardsRetried < 1 {
+		t.Fatalf("stats = %+v, want ShardsRetried ≥ 1 (half the dispatches hit the dead peer)", fin.Stats)
+	}
+	if retried := e.metric("shards_retried"); retried < 1 {
+		t.Fatalf("shards_retried metric = %d, want ≥ 1", retried)
+	}
+}
+
+// TestFault429ThenRecover: a worker sheds the first job creations with 429
+// (admission pressure); the retry client must absorb the burst and the job
+// complete without losing a clique.
+func TestFault429ThenRecover(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 22)
+	want := refCliqueSet(t, g)
+
+	var mu sync.Mutex
+	shed := 2
+	w := newWrappedWorker(t, "er", g, service.Config{}, func(rw http.ResponseWriter, r *http.Request, _ http.Handler) bool {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			mu.Lock()
+			defer mu.Unlock()
+			if shed > 0 {
+				shed--
+				http.Error(rw, "injected admission pressure", http.StatusTooManyRequests)
+				return true
+			}
+		}
+		return false
+	})
+
+	e := newCoordinatorEnv(t, "er", g, []string{w.ts.URL}, nil)
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, e, v.ID)
+	sameCliqueSet(t, "429", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+	if retried := e.metric("shards_retried"); retried < 1 {
+		t.Fatalf("shards_retried = %d, want ≥ 1 (the 429s)", retried)
+	}
+}
+
+// TestFaultGarbageStream: a worker's first clique stream is corrupt NDJSON
+// cut off mid-record. The shard must be re-dispatched and its first
+// attempt's partial output discarded — exactly once delivery.
+func TestFaultGarbageStream(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 23)
+	want := refCliqueSet(t, g)
+
+	var mu sync.Mutex
+	poisoned := false
+	w := newWrappedWorker(t, "er", g, service.Config{}, func(rw http.ResponseWriter, r *http.Request, _ http.Handler) bool {
+		if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cliques") {
+			mu.Lock()
+			defer mu.Unlock()
+			if !poisoned {
+				poisoned = true
+				rw.Header().Set("Content-Type", "application/x-ndjson")
+				fmt.Fprint(rw, "{\"c\":[1,2,3]}\n{\"c\":[4,5")
+				return true
+			}
+		}
+		return false
+	})
+
+	e := newCoordinatorEnv(t, "er", g, []string{w.ts.URL}, nil)
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, e, v.ID)
+	sameCliqueSet(t, "garbage", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+	if retried := e.metric("shards_retried"); retried < 1 {
+		t.Fatalf("shards_retried = %d, want ≥ 1 (the poisoned stream)", retried)
+	}
+}
+
+// TestFaultTruncatedStream: a worker's stream dies mid-flight (connection
+// drop with no trailer). The buffered half must be discarded and the shard
+// re-run — the merged set has no gap and no duplicate.
+func TestFaultTruncatedStream(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 24)
+	want := refCliqueSet(t, g)
+
+	var mu sync.Mutex
+	truncated := false
+	w := newWrappedWorker(t, "er", g, service.Config{}, func(rw http.ResponseWriter, r *http.Request, inner http.Handler) bool {
+		if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cliques") {
+			mu.Lock()
+			hit := !truncated
+			truncated = true
+			mu.Unlock()
+			if hit {
+				// Run the real stream into a recorder, then forward only the
+				// first half of the bytes: the connection "drops" without a
+				// trailer.
+				rec := httptest.NewRecorder()
+				inner.ServeHTTP(rec, r)
+				body := rec.Body.Bytes()
+				rw.Header().Set("Content-Type", "application/x-ndjson")
+				rw.Write(body[:len(body)/2])
+				return true
+			}
+		}
+		return false
+	})
+
+	e := newCoordinatorEnv(t, "er", g, []string{w.ts.URL}, nil)
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, e, v.ID)
+	sameCliqueSet(t, "truncated", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+	if retried := e.metric("shards_retried"); retried < 1 {
+		t.Fatalf("shards_retried = %d, want ≥ 1 (the truncated stream)", retried)
+	}
+}
+
+// TestFaultStragglerHang: a worker accepts a shard, then its stream hangs
+// past the shard deadline. The coordinator must classify it as a straggler,
+// re-split or re-dispatch, and still deliver the exact set.
+func TestFaultStragglerHang(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 25)
+	want := refCliqueSet(t, g)
+
+	var mu sync.Mutex
+	hung := false
+	w := newWrappedWorker(t, "er", g, service.Config{}, func(rw http.ResponseWriter, r *http.Request, _ http.Handler) bool {
+		if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cliques") {
+			mu.Lock()
+			hit := !hung
+			hung = true
+			mu.Unlock()
+			if hit {
+				// Hold the stream open with no bytes until the coordinator
+				// gives up (its shard deadline cancels the request).
+				<-r.Context().Done()
+				return true
+			}
+		}
+		return false
+	})
+
+	e := newCoordinatorEnv(t, "er", g, []string{w.ts.URL}, func(cfg *service.Config) {
+		cfg.ShardTimeout = 500 * time.Millisecond
+	})
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+	cliques, trailer := streamJob(t, e, v.ID)
+	sameCliqueSet(t, "straggler", cliqueSet(t, cliques), want)
+	if trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+	if retried := e.metric("shards_retried"); retried < 1 {
+		t.Fatalf("shards_retried = %d, want ≥ 1 (the hung shard)", retried)
+	}
+}
+
+// TestFaultFingerprintMismatchHardFail: a peer serving a different graph
+// under the same dataset name must fail the job on the first 409 — a
+// deterministic incompatibility is never retried.
+func TestFaultFingerprintMismatchHardFail(t *testing.T) {
+	g1 := hbbmc.GenerateER(150, 900, 26)
+	g2 := hbbmc.GenerateER(150, 900, 27) // same shape, different content
+	w := newWrappedWorker(t, "er", g2, service.Config{}, nil)
+	e := newCoordinatorEnv(t, "er", g1, []string{w.ts.URL}, nil)
+
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "count"})
+	fin := e.waitJob(v.ID)
+	if fin.State != service.StateFailed {
+		t.Fatalf("job ended %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "fingerprint mismatch") {
+		t.Fatalf("error = %q, want the fingerprint-mismatch diagnosis", fin.Error)
+	}
+	if retried := e.metric("shards_retried"); retried != 0 {
+		t.Fatalf("shards_retried = %d on a 409, want 0 (no retry storm)", retried)
+	}
+	if failed := e.metric("shards_failed"); failed < 1 {
+		t.Fatalf("shards_failed = %d, want ≥ 1", failed)
+	}
+}
+
+// TestFaultNoUsablePeer: when every configured peer flunks the probe the
+// job fails up front with the per-peer reasons, not a retry loop.
+func TestFaultNoUsablePeer(t *testing.T) {
+	g := hbbmc.GenerateER(100, 500, 28)
+	// A live HTTP server that has never heard of the dataset.
+	empty := newTestEnv(t, service.Config{})
+	e := newCoordinatorEnv(t, "er", g, []string{empty.ts.URL}, nil)
+
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "count"})
+	fin := e.waitJob(v.ID)
+	if fin.State != service.StateFailed {
+		t.Fatalf("job ended %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "no usable peer") || !strings.Contains(fin.Error, "not registered") {
+		t.Fatalf("error = %q, want the no-usable-peer diagnosis with reasons", fin.Error)
+	}
+}
+
+// TestFaultCancelPropagatesDeleteToPeers records the coordinator's remote
+// cleanup directly: every shard job it created on the (stalling) stub peer
+// must receive a DELETE once the client cancels the coordinator job.
+func TestFaultCancelPropagatesDeleteToPeers(t *testing.T) {
+	g := hbbmc.GenerateER(150, 900, 29)
+
+	var mu sync.Mutex
+	var posted, deleted []string
+	seq := 0
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/info":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"version":"stub","gomaxprocs":1,"worker_slots":1,"datasets":[{"name":"er","path":"x","format":"auto","loaded":false,"sessions":0}]}`)
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			mu.Lock()
+			seq++
+			id := fmt.Sprintf("stub%03d", seq)
+			posted = append(posted, id)
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]any{"id": id, "state": "running"})
+		case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cliques"):
+			// The shard never finishes: stall until the coordinator hangs up.
+			<-r.Context().Done()
+		case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+			mu.Lock()
+			deleted = append(deleted, strings.TrimPrefix(r.URL.Path, "/v1/jobs/"))
+			mu.Unlock()
+			w.WriteHeader(http.StatusAccepted)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer stub.Close()
+
+	e := newCoordinatorEnv(t, "er", g, []string{stub.URL}, nil)
+	v := e.startJob(map[string]any{"dataset": "er", "mode": "enumerate"})
+
+	// Wait until shards are actually in flight against the stub.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(posted)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shard reached the stub peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	e.do("DELETE", "/v1/jobs/"+v.ID, nil)
+	fin := e.waitJob(v.ID)
+	if fin.State != service.StateStopped || fin.StopReason != "cancelled" {
+		t.Fatalf("job ended %s/%s, want stopped/cancelled", fin.State, fin.StopReason)
+	}
+
+	// Every remote job the coordinator created must be DELETEd.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		missing := 0
+		for _, id := range posted {
+			found := false
+			for _, d := range deleted {
+				if d == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing++
+			}
+		}
+		nPosted, nDeleted := len(posted), len(deleted)
+		mu.Unlock()
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d of %d remote shard jobs never received a DELETE (%d deletes seen)", missing, nPosted, nDeleted)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// retryClient wraps an http.Client with jittered exponential backoff over
+// the transient failure classes of shard dispatch: transport errors, 429
+// (a worker's admission queue is momentarily full) and 5xx. Everything else
+// — including 409, the fingerprint-mismatch signal — returns immediately:
+// a deterministic rejection never becomes a retry storm.
+type retryClient struct {
+	client      *http.Client
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	// onRetry, when set, observes every retry (the metrics hook).
+	onRetry func()
+}
+
+func newRetryClient(client *http.Client, maxAttempts int, base, max time.Duration) *retryClient {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	return &retryClient{client: client, maxAttempts: maxAttempts, baseDelay: base, maxDelay: max}
+}
+
+// retryableStatus reports whether a response status signals a transient
+// condition worth another attempt.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// Do issues the request produced by build, retrying transient failures with
+// jittered exponential backoff until an attempt succeeds, a non-retryable
+// status arrives, the attempts are exhausted or ctx ends (the backoff sleep
+// is context-aware). build runs once per attempt so request bodies are
+// always fresh. A retried response's body is drained and closed here; the
+// returned response (err == nil) is the caller's to close — any status,
+// retryable or not, once the budget allows returning it.
+func (rc *retryClient) Do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < rc.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if rc.onRetry != nil {
+				rc.onRetry()
+			}
+			if err := sleepContext(ctx, jitterBackoff(rc.baseDelay, rc.maxDelay, attempt)); err != nil {
+				return nil, fmt.Errorf("service: retry abandoned after %d attempts: %w (last: %v)", attempt, err, lastErr)
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rc.client.Do(req.WithContext(ctx))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("service: %w (last attempt: %v)", ctx.Err(), err)
+			}
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && attempt+1 < rc.maxAttempts {
+			drainClose(resp.Body)
+			lastErr = fmt.Errorf("%s %s: status %d", req.Method, req.URL, resp.StatusCode)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("service: %d attempts exhausted: %w", rc.maxAttempts, lastErr)
+}
+
+// jitterBackoff returns the pause before retry `attempt` (1-based): uniform
+// in [d/2, d] for d = base·2^(attempt-1) capped at max. The random half
+// desynchronises concurrent shards retrying against the same peer.
+func jitterBackoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// sleepContext waits for d or until ctx ends, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drainClose consumes (a bounded amount of) a response body and closes it,
+// letting the transport reuse the connection.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+	_ = body.Close()
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryEnv is a handler whose first fail responses return code, the rest
+// 200; it counts every request it sees.
+type retryEnv struct {
+	calls atomic.Int64
+	fail  int64
+	code  int
+}
+
+func (h *retryEnv) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	if h.calls.Add(1) <= h.fail {
+		w.WriteHeader(h.code)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func getBuilder(url string) func() (*http.Request, error) {
+	return func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}
+}
+
+func TestRetryClientEventualSuccess(t *testing.T) {
+	h := &retryEnv{fail: 2, code: http.StatusInternalServerError}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var retries atomic.Int64
+	rc := newRetryClient(ts.Client(), 4, time.Millisecond, 4*time.Millisecond)
+	rc.onRetry = func() { retries.Add(1) }
+	resp, err := rc.Do(context.Background(), getBuilder(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 500s, one 200)", got)
+	}
+	if got := retries.Load(); got != 2 {
+		t.Fatalf("onRetry fired %d times, want 2", got)
+	}
+}
+
+func TestRetryClient429Retried(t *testing.T) {
+	h := &retryEnv{fail: 1, code: http.StatusTooManyRequests}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	rc := newRetryClient(ts.Client(), 3, time.Millisecond, 4*time.Millisecond)
+	resp, err := rc.Do(context.Background(), getBuilder(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK || h.calls.Load() != 2 {
+		t.Fatalf("status %d after %d calls, want 200 after 2", resp.StatusCode, h.calls.Load())
+	}
+}
+
+func TestRetryClientNonRetryableStatusReturnsImmediately(t *testing.T) {
+	h := &retryEnv{fail: 10, code: http.StatusConflict}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	rc := newRetryClient(ts.Client(), 5, time.Millisecond, 4*time.Millisecond)
+	resp, err := rc.Do(context.Background(), getBuilder(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want the 409 passed through", resp.StatusCode)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a non-retryable status, want 1", got)
+	}
+}
+
+func TestRetryClientExhaustionReturnsLastResponse(t *testing.T) {
+	// When every attempt gets a retryable status, the final attempt's
+	// response is returned rather than swallowed: the caller decides what a
+	// persistent 500 means (the coordinator classifies it as shardRetry).
+	h := &retryEnv{fail: 100, code: http.StatusInternalServerError}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	rc := newRetryClient(ts.Client(), 3, time.Millisecond, 4*time.Millisecond)
+	resp, err := rc.Do(context.Background(), getBuilder(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want the final 500 returned", resp.StatusCode)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly maxAttempts=3", got)
+	}
+}
+
+func TestRetryClientTransportErrorExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // every attempt now fails at the transport
+
+	rc := newRetryClient(&http.Client{}, 3, time.Millisecond, 4*time.Millisecond)
+	resp, err := rc.Do(context.Background(), getBuilder(url))
+	if err == nil {
+		drainClose(resp.Body)
+		t.Fatal("Do succeeded against a closed server")
+	}
+	if !strings.Contains(err.Error(), "3 attempts exhausted") {
+		t.Fatalf("err = %v, want the attempts-exhausted wrap", err)
+	}
+}
+
+func TestRetryClientContextCancelDuringBackoff(t *testing.T) {
+	h := &retryEnv{fail: 100, code: http.StatusInternalServerError}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// First attempt fails fast; the deadline then lands inside the long
+	// backoff, which must abort the wait instead of sleeping it out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rc := newRetryClient(ts.Client(), 3, time.Second, 2*time.Second)
+	start := time.Now()
+	_, err := rc.Do(ctx, getBuilder(ts.URL))
+	if err == nil {
+		t.Fatal("Do succeeded past a dead context")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Do took %v, the backoff sleep ignored the context", elapsed)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (cancel landed in backoff)", got)
+	}
+}
+
+func TestRetryClientBuildFreshPerAttempt(t *testing.T) {
+	h := &retryEnv{fail: 2, code: http.StatusInternalServerError}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var builds atomic.Int64
+	rc := newRetryClient(ts.Client(), 4, time.Millisecond, 4*time.Millisecond)
+	resp, err := rc.Do(context.Background(), func() (*http.Request, error) {
+		builds.Add(1)
+		return http.NewRequest(http.MethodGet, ts.URL, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("build ran %d times, want once per attempt (3)", got)
+	}
+}
+
+func TestJitterBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := base << (attempt - 1)
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			d := jitterBackoff(base, max, attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

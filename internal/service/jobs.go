@@ -65,6 +65,10 @@ type Job struct {
 	sessionCached bool
 	//hbbmc:guardedby mu
 	prepTime time.Duration
+	// sharded marks a coordinator job: its branch intervals ran on peer
+	// nodes and it held no local worker slots.
+	//hbbmc:guardedby mu
+	sharded bool
 
 	//hbbmc:guardedby mu
 	cancel       context.CancelFunc
@@ -94,6 +98,11 @@ type JobView struct {
 	// preprocessing cost either way.
 	SessionCached bool          `json:"session_cached"`
 	PrepTimeNS    time.Duration `json:"prep_time_ns"`
+	// Sharded marks a coordinator job (work fanned out to peers);
+	// BranchRange is the [lo, hi) schedule interval of a shard job running
+	// on behalf of a remote coordinator. A plain local job has neither.
+	Sharded     bool    `json:"sharded,omitempty"`
+	BranchRange *[2]int `json:"branch_range,omitempty"`
 	// Delivered counts cliques handed to the streaming client so far.
 	Delivered int64        `json:"cliques_delivered"`
 	Stats     *hbbmc.Stats `json:"stats,omitempty"`
@@ -117,9 +126,13 @@ func (j *Job) View() JobView {
 		Workers:       j.Workers,
 		SessionCached: j.sessionCached,
 		PrepTimeNS:    j.prepTime,
+		Sharded:       j.sharded,
 		Delivered:     j.delivered.Load(),
 		Stats:         j.stats,
 		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.Query.BranchLo != 0 || j.Query.BranchHi != 0 {
+		v.BranchRange = &[2]int{j.Query.BranchLo, j.Query.BranchHi}
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)

@@ -45,6 +45,7 @@ type dataset struct {
 	once      sync.Once
 	loaded    atomic.Bool
 	g         *hbbmc.Graph
+	fp        uint32 // .hbg payload CRC, computed once at load
 	loadTime  time.Duration
 	fromCache bool
 	loadErr   error
@@ -72,6 +73,10 @@ type DatasetInfo struct {
 	Vertices  int   `json:"vertices,omitempty"`
 	Edges     int   `json:"edges,omitempty"`
 	GraphSize int64 `json:"graph_bytes,omitempty"`
+	// Fingerprint is the graph's .hbg payload CRC-32C (8 hex digits), the
+	// dataset identity the distributed coordinator matches shards against;
+	// present only once the graph is loaded.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// FromCache reports whether the load was served by a .hbg sidecar
 	// snapshot instead of a text parse.
 	FromCache  bool          `json:"from_cache,omitempty"`
@@ -172,6 +177,7 @@ func (r *Registry) infoLocked(d *dataset) DatasetInfo {
 		info.Vertices = d.g.NumVertices()
 		info.Edges = d.g.NumEdges()
 		info.GraphSize = d.g.MemoryFootprint()
+		info.Fingerprint = fmt.Sprintf("%08x", d.fp)
 		info.FromCache = d.fromCache
 		info.LoadTimeNS = d.loadTime
 	}
@@ -187,6 +193,7 @@ func (d *dataset) graph() (*hbbmc.Graph, error) {
 			d.loadErr = fmt.Errorf("service: dataset %q: %w", d.name, err)
 		} else {
 			d.g, d.fromCache, d.loadTime = g, fromCache, time.Since(start)
+			d.fp = g.Fingerprint()
 		}
 		d.loaded.Store(true)
 	})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/distrib"
 )
 
 // jobRequest is the POST /v1/jobs body. Omitted algorithm fields default to
@@ -35,6 +36,18 @@ type jobRequest struct {
 	MaxCliques int64  `json:"max_cliques"` // 0 = unlimited
 	Timeout    string `json:"timeout"`     // Go duration, e.g. "30s"; "" = none
 	Buffer     int    `json:"buffer"`      // stream channel capacity; 0 = server default
+
+	// Distributed-shard fields (internal/distrib.Descriptor). BranchRange
+	// restricts the run to branch schedule positions [lo, hi); [0, 0] is
+	// only legal on a session whose branch space is empty (the residue-only
+	// shard). GraphCRC and Ordering, when present, must match this node's
+	// session fingerprints or the request is rejected with 409 — the hard
+	// incompatibility signal a coordinator never retries. A request carrying
+	// BranchRange always executes locally, even on a node that is itself a
+	// coordinator.
+	BranchRange *[2]int `json:"branch_range,omitempty"`
+	GraphCRC    string  `json:"graph_crc,omitempty"`
+	Ordering    string  `json:"ordering,omitempty"`
 }
 
 // options maps the request to the session-defining Options. The per-run
@@ -123,6 +136,64 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A branch_range marks the request as a distributed shard: verify that
+	// this node's graph, options and ordering agree with the coordinator's
+	// fingerprints before narrowing the query to the interval. Disagreement
+	// is a 409 — the descriptor simply is not executable here, no retry can
+	// fix it.
+	var branchLo, branchHi int
+	if req.BranchRange != nil {
+		lo, hi := req.BranchRange[0], req.BranchRange[1]
+		if lo < 0 || hi < lo {
+			writeError(w, http.StatusBadRequest, "invalid branch_range [%d,%d)", lo, hi)
+			return
+		}
+		// Fingerprints first: when the graphs differ the branch counts
+		// usually differ too, and "fingerprint mismatch" is the actionable
+		// diagnosis, not the range arithmetic it breaks downstream.
+		if req.GraphCRC != "" {
+			if fp := distrib.FormatCRC(sess.GraphFingerprint()); fp != req.GraphCRC {
+				writeError(w, http.StatusConflict, "dataset fingerprint mismatch: descriptor %s, this node %s", req.GraphCRC, fp)
+				return
+			}
+		}
+		if req.Ordering != "" {
+			if fp := distrib.FormatCRC(sess.OrderingFingerprint()); fp != req.Ordering {
+				writeError(w, http.StatusConflict, "ordering fingerprint mismatch: descriptor %s, this node %s", req.Ordering, fp)
+				return
+			}
+		}
+		branches := sess.NumTopBranches()
+		switch {
+		case lo == 0 && hi == 0 && branches > 0:
+			writeError(w, http.StatusBadRequest, "empty branch_range on a session with %d top-level branches", branches)
+			return
+		case hi > branches:
+			writeError(w, http.StatusConflict, "branch_range [%d,%d) exceeds this node's %d top-level branches", lo, hi, branches)
+			return
+		}
+		branchLo, branchHi = lo, hi
+	}
+
+	// The buffer is client-controlled and eagerly allocated (24 bytes per
+	// slot): clamp it so one request cannot force a giant allocation.
+	const maxStreamBuffer = 1 << 16
+	buffer := req.Buffer
+	if buffer <= 0 {
+		buffer = s.cfg.StreamBuffer
+	}
+	if buffer > maxStreamBuffer {
+		buffer = maxStreamBuffer
+	}
+
+	// Coordinator mode: a plain job on a node with peers is not executed
+	// locally — it is split into branch-interval shards and fanned out to
+	// the peers, the job here becoming the merge point of their streams.
+	if len(s.cfg.Peers) > 0 && req.BranchRange == nil {
+		s.startCoordinatedJob(w, &req, sess, cached, timeout, buffer)
+		return
+	}
+
 	// Clamp to what the job can actually use: the core driver never runs
 	// more than GOMAXPROCS goroutines, so holding more slots than that
 	// would starve other jobs off an idle machine.
@@ -136,17 +207,12 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if workers > s.slots.Capacity() {
 		workers = s.slots.Capacity()
 	}
-	// The buffer is client-controlled and eagerly allocated (24 bytes per
-	// slot): clamp it so one request cannot force a giant allocation.
-	const maxStreamBuffer = 1 << 16
-	buffer := req.Buffer
-	if buffer <= 0 {
-		buffer = s.cfg.StreamBuffer
+	q := hbbmc.QueryOptions{
+		Workers:    workers,
+		MaxCliques: req.MaxCliques,
+		BranchLo:   branchLo,
+		BranchHi:   branchHi,
 	}
-	if buffer > maxStreamBuffer {
-		buffer = maxStreamBuffer
-	}
-	q := hbbmc.QueryOptions{Workers: workers, MaxCliques: req.MaxCliques}
 
 	j := s.jobs.create(req.Dataset, req.Mode, sess.Options(), q, workers, buffer)
 	j.mu.Lock()
@@ -276,13 +342,16 @@ type cliqueLine struct {
 	C []int32 `json:"c"`
 }
 
-// streamTrailer is the stream's final NDJSON record.
+// streamTrailer is the stream's final NDJSON record. Stats lets a
+// distributed coordinator collect a shard's counters from the same stream
+// that carried its cliques, without a follow-up status request.
 type streamTrailer struct {
-	Done       bool     `json:"done"`
-	State      JobState `json:"state"`
-	StopReason string   `json:"stop_reason,omitempty"`
-	Error      string   `json:"error,omitempty"`
-	Cliques    int64    `json:"cliques"`
+	Done       bool         `json:"done"`
+	State      JobState     `json:"state"`
+	StopReason string       `json:"stop_reason,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Cliques    int64        `json:"cliques"`
+	Stats      *hbbmc.Stats `json:"stats,omitempty"`
 }
 
 // handleStreamCliques streams a job's cliques as NDJSON ({"c":[...]} per
@@ -373,6 +442,7 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 		StopReason: v.StopReason,
 		Error:      v.Error,
 		Cliques:    j.delivered.Load(),
+		Stats:      v.Stats,
 	})
 	flush()
 }

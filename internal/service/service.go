@@ -15,6 +15,8 @@
 //
 //	GET    /healthz                 liveness + uptime
 //	GET    /metrics                 expvar-style counters
+//	GET    /v1/info                 node identity: version, capacity, peers,
+//	                                dataset fingerprints
 //	GET    /v1/datasets             list registered datasets
 //	POST   /v1/datasets             register {"name","path","format"}
 //	GET    /v1/datasets/{name}      one dataset
@@ -30,6 +32,12 @@
 // Config.WorkerSlots. A request that cannot be admitted within
 // Config.QueueWait (or that arrives to a full admission queue) is rejected
 // with 429 instead of oversubscribing the machine.
+//
+// Distributed mode: with Config.Peers set the server becomes a coordinator —
+// POST /v1/jobs without a branch_range is split into top-level branch
+// intervals (internal/distrib) and fanned out to the peers, whose NDJSON
+// clique streams merge into the one stream the client reads; see
+// coordinator.go and the README's "Distributed serving" section.
 package service
 
 import (
@@ -64,6 +72,28 @@ type Config struct {
 	StreamBuffer int
 	// MaxJobHistory bounds the retained terminal jobs (0 = 256).
 	MaxJobHistory int
+
+	// Peers lists the base URLs of worker mced nodes (http://host:port).
+	// Non-empty Peers switches the server into coordinator mode: a job
+	// without an explicit branch_range is split into branch-interval shards
+	// (internal/distrib) and fanned out to the peers over the jobs API; the
+	// fields below size that fan-out and are ignored otherwise.
+	Peers []string
+	// ShardInflight bounds the shards dispatched concurrently
+	// (0 = 2×len(Peers)).
+	ShardInflight int
+	// ShardTimeout bounds one shard attempt, coordinator-side, and is also
+	// sent as the remote job's own timeout so an orphaned shard self-cancels
+	// (0 = 60s). A shard that exceeds it is re-split (guided-chunking halves)
+	// or re-dispatched.
+	ShardTimeout time.Duration
+	// ShardRetries is how many times a failed shard is re-dispatched before
+	// the job fails (0 = 3; negative = never retry).
+	ShardRetries int
+	// ShardMaxBranches caps the branch interval of one shard, bounding both
+	// the coordinator's per-shard clique buffering and a straggler's blast
+	// radius (0 = 4096).
+	ShardMaxBranches int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +118,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobHistory <= 0 {
 		c.MaxJobHistory = 256
 	}
+	if len(c.Peers) > 0 && c.ShardInflight <= 0 {
+		c.ShardInflight = 2 * len(c.Peers)
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = time.Minute
+	}
+	switch {
+	case c.ShardRetries == 0:
+		c.ShardRetries = 3
+	case c.ShardRetries < 0:
+		c.ShardRetries = 0
+	}
+	if c.ShardMaxBranches <= 0 {
+		c.ShardMaxBranches = 4096
+	}
 	return c
 }
 
@@ -103,6 +148,10 @@ type metrics struct {
 	sessionBytes                      expvar.Int // gauge
 	datasets                          expvar.Int // gauge
 	admissionRejected                 expvar.Int
+	// Coordinator-mode shard accounting: descriptors handed to the fan-out,
+	// re-dispatch attempts (retries and straggler re-splits) and descriptors
+	// that exhausted their retry budget.
+	shardsDispatched, shardsRetried, shardsFailed expvar.Int
 }
 
 func (m *metrics) vars() []struct {
@@ -125,6 +174,9 @@ func (m *metrics) vars() []struct {
 		{"session_cache_bytes", &m.sessionBytes},
 		{"datasets", &m.datasets},
 		{"admission_rejected", &m.admissionRejected},
+		{"shards_dispatched", &m.shardsDispatched},
+		{"shards_retried", &m.shardsRetried},
+		{"shards_failed", &m.shardsFailed},
 	}
 }
 
@@ -164,6 +216,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
@@ -180,20 +233,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Shutdown stops admitting new jobs, cancels every live one and waits
-// (bounded by ctx) for them to release their worker slots. The cancel
-// sweep repeats each poll so a job that was mid-admission when the drain
-// began cannot slip through and hang the shutdown.
+// (bounded by ctx) for them to reach a terminal state and release their
+// worker slots. The terminal-state wait matters for coordinator jobs, which
+// hold zero local slots — their shards run on peers — yet must propagate
+// the cancellation (best-effort remote DELETEs) before the process exits.
+// The cancel sweep repeats each poll so a job that was mid-admission when
+// the drain began cannot slip through and hang the shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
+		live := 0
 		for _, j := range s.jobs.list() {
 			if !j.State().terminal() {
 				j.requestCancel("server shutdown")
+				live++
 			}
 		}
-		if s.slots.InUse() == 0 {
+		if s.slots.InUse() == 0 && live == 0 {
 			return nil
 		}
 		select {
@@ -218,6 +276,33 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Version identifies the mced API generation; /v1/info reports it so
+// operators (and the coordinator's peer probe) can spot skewed fleets.
+const Version = "mced/0.7"
+
+// nodeInfo is the GET /v1/info body: what a coordinator needs to know about
+// a node before handing it work — capacity, peers and, for every loaded
+// dataset, the .hbg payload fingerprint that anchors shard compatibility.
+type nodeInfo struct {
+	Version     string        `json:"version"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	WorkerSlots int           `json:"worker_slots"`
+	SlotsInUse  int           `json:"slots_in_use"`
+	Peers       []string      `json:"peers,omitempty"`
+	Datasets    []DatasetInfo `json:"datasets"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, nodeInfo{
+		Version:     Version,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		WorkerSlots: s.slots.Capacity(),
+		SlotsInUse:  s.slots.InUse(),
+		Peers:       s.cfg.Peers,
+		Datasets:    s.reg.Datasets(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
