@@ -1,4 +1,5 @@
-// Command mce enumerates the maximal cliques of a graph.
+// Command mce enumerates the maximal cliques of a graph — or, with one of
+// the query flags, answers a different clique workload on the same engine.
 //
 // Usage:
 //
@@ -6,6 +7,14 @@
 //	    [-d 1] [-edgeorder truss] [-inner pivot] [-out cliques.txt] [-quiet]
 //	    [-workers 1] [-emitbatch 0] [-chunk 0] [-timeout 0] [-maxcliques 0]
 //	    [-save graph.hbg] [-cache]
+//	    [-maxclique | -topk K | -kcliques K]
+//
+// Query flags (mutually exclusive; none = enumerate every maximal clique):
+// -maxclique solves the exact maximum-clique problem and prints the single
+// witness clique; -topk K prints the K largest maximal cliques, largest
+// first; -kcliques K prints the number of k-vertex cliques (not only the
+// maximal ones). All three run on the same cached preprocessing and honour
+// -workers and -timeout; -maxcliques applies to plain enumeration only.
 //
 // The input format is auto-detected by default: SNAP/plain edge lists
 // ("u v" per line, '#'/'%' comments), DIMACS clique files, MatrixMarket
@@ -73,10 +82,27 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "stop the enumeration after this wall-clock time, keeping partial results (0 = unlimited)")
 		maxCliques = flag.Int64("maxcliques", 0, "stop after this many maximal cliques (0 = unlimited)")
 		phases     = flag.Bool("phases", false, "collect and print per-phase timers (universe build, pivot scans, early termination, emit)")
+		maxClique  = flag.Bool("maxclique", false, "solve the exact maximum-clique problem instead of enumerating")
+		topK       = flag.Int("topk", 0, "print only the k largest maximal cliques, largest first (0 = disabled)")
+		kCliques   = flag.Int("kcliques", 0, "count k-vertex cliques for this k instead of enumerating (0 = disabled)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
+		os.Exit(exitUsage)
+	}
+	queryFlags := 0
+	for _, set := range []bool{*maxClique, *topK != 0, *kCliques != 0} {
+		if set {
+			queryFlags++
+		}
+	}
+	if queryFlags > 1 {
+		fmt.Fprintln(os.Stderr, "mce: -maxclique, -topk and -kcliques are mutually exclusive")
+		os.Exit(exitUsage)
+	}
+	if *topK < 0 || *kCliques < 0 {
+		fmt.Fprintln(os.Stderr, "mce: -topk and -kcliques need a positive k")
 		os.Exit(exitUsage)
 	}
 
@@ -164,9 +190,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	stats, runErr := sess.Enumerate(ctx, func(c []int32) bool {
+	writeClique := func(c []int32) {
 		if w == nil {
-			return true
+			return
 		}
 		for i, v := range c {
 			if i > 0 {
@@ -175,8 +201,55 @@ func main() {
 			fmt.Fprint(w, v)
 		}
 		fmt.Fprintln(w)
-		return true
-	})
+	}
+
+	// Dispatch on the query flags. Every path leaves its results in the
+	// output buffer and its counters in stats; the shared reporting and
+	// exit-code handling below applies uniformly.
+	var (
+		stats   *hbbmc.Stats
+		runErr  error
+		summary string
+	)
+	// A query that fails validation returns no stats at all; bail before the
+	// per-mode summaries dereference them.
+	mustStats := func() {
+		if stats == nil {
+			closeOutput()
+			fatal(runErr)
+		}
+	}
+	switch {
+	case *maxClique:
+		var clique []int32
+		clique, stats, runErr = sess.MaxClique(ctx, hbbmc.QueryOptions{})
+		mustStats()
+		writeClique(clique)
+		summary = fmt.Sprintf("maximum clique of size %d (BnB: %d calls, %d prunes, %d incumbent updates)",
+			len(clique), stats.BnBCalls, stats.BnBPrunes, stats.IncumbentUpdates)
+	case *topK > 0:
+		var cliques [][]int32
+		cliques, stats, runErr = sess.TopK(ctx, *topK, hbbmc.QueryOptions{})
+		mustStats()
+		for _, c := range cliques {
+			writeClique(c)
+		}
+		summary = fmt.Sprintf("top %d of %d maximal cliques (ω=%d)", len(cliques), stats.Cliques, stats.MaxCliqueSize)
+	case *kCliques > 0:
+		var count int64
+		count, stats, runErr = sess.CountKCliques(ctx, *kCliques, hbbmc.QueryOptions{})
+		mustStats()
+		if w != nil {
+			fmt.Fprintln(w, count)
+		}
+		summary = fmt.Sprintf("%d cliques of %d vertices", count, *kCliques)
+	default:
+		stats, runErr = sess.Enumerate(ctx, func(c []int32) bool {
+			writeClique(c)
+			return true
+		})
+		summary = fmt.Sprintf("%d maximal cliques (ω=%d)", stats.Cliques, stats.MaxCliqueSize)
+	}
 	// The enumeration has returned: all clique output is written to the
 	// buffer. Flush and close it before reporting anything, so every exit
 	// path below — error (1), -maxcliques (3), -timeout (4) and success —
@@ -185,8 +258,8 @@ func main() {
 	if code, _ := stopStatus(runErr); runErr != nil && code == 0 {
 		fatal(runErr) // a real failure, not a requested early stop
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d maximal cliques (ω=%d) in %v (preprocessing %v, enumeration %v); %d branches, %d calls, ET %d/%d, workers=%d\n",
-		*algo, stats.Cliques, stats.MaxCliqueSize, time.Since(start).Round(time.Millisecond),
+	fmt.Fprintf(os.Stderr, "%s: %s in %v (preprocessing %v, enumeration %v); %d branches, %d calls, ET %d/%d, workers=%d\n",
+		*algo, summary, time.Since(start).Round(time.Millisecond),
 		sess.PrepTime().Round(time.Millisecond), stats.EnumTime.Round(time.Millisecond),
 		stats.TopBranches, stats.Calls, stats.EarlyTerminations, stats.PlexBranches, stats.Workers)
 	if *phases {

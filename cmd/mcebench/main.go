@@ -1,6 +1,7 @@
 // Command mcebench reproduces the paper's experiments (Tables I–VI and
-// Figure 5) on the synthetic stand-in datasets, and gates benchmark
-// regressions in CI via its compare mode.
+// Figure 5) on the synthetic stand-in datasets, times the session's
+// workload queries (Table VII: maximum clique, top-k, k-clique counting),
+// and gates benchmark regressions in CI via its compare mode.
 //
 // Usage:
 //
@@ -46,7 +47,7 @@ const exitRegression = 3
 
 func main() {
 	var (
-		table      = flag.Int("table", 0, "table number to reproduce (1-6)")
+		table      = flag.Int("table", 0, "table number to reproduce (1-7; 7 = workload queries)")
 		figure     = flag.String("figure", "", "figure panel to reproduce (5a|5b|5c|5d)")
 		all        = flag.Bool("all", false, "run every table and figure")
 		datasets   = flag.String("datasets", "", "comma-separated dataset codes (default: all 16)")
@@ -130,6 +131,7 @@ func main() {
 		4: benchharness.Table4,
 		5: benchharness.Table5,
 		6: benchharness.Table6,
+		7: benchharness.Table7,
 	}
 	figures := map[string]func(benchharness.FigureConfig) (*benchharness.Table, error){
 		"5a": benchharness.Figure5a,
@@ -142,7 +144,7 @@ func main() {
 	runTable := func(n int) {
 		fn, ok := tables[n]
 		if !ok {
-			fatal(fmt.Errorf("unknown table %d (1-6)", n))
+			fatal(fmt.Errorf("unknown table %d (1-7)", n))
 		}
 		t, err := fn(cfg)
 		if err != nil {
@@ -170,7 +172,7 @@ func main() {
 
 	switch {
 	case *all:
-		for n := 1; n <= 6; n++ {
+		for n := 1; n <= 7; n++ {
 			runTable(n)
 		}
 		for _, f := range []string{"5a", "5b", "5c", "5d"} {

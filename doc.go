@@ -49,6 +49,33 @@
 // silently run against the wrong graph. See the README's "Distributed
 // serving" section.
 //
+// # Job types beyond enumeration
+//
+// A Session answers more than maximal-clique enumeration; every query
+// type shares the same cached preprocessing, cost-ordered branch schedule
+// and allocation-free kernels:
+//
+//   - Session.MaxClique solves the exact maximum-clique problem by branch
+//     and bound over the session's branches: a greedy-coloring upper
+//     bound prunes branches that cannot beat the incumbent (seeded from
+//     the reduction's cliques and a greedy heuristic), and parallel
+//     workers share the incumbent size atomically so any worker's find
+//     tightens every other worker's bound. Stats.BnBCalls,
+//     Stats.BnBPrunes and Stats.IncumbentUpdates report the search shape;
+//     the witness clique is the return value.
+//   - Session.TopK returns the k largest maximal cliques (size
+//     descending, then lexicographic) by running the unchanged
+//     enumeration through a bounded worst-first heap whose rejection
+//     threshold tightens as it fills.
+//   - Session.CountKCliques counts the k-vertex cliques (not necessarily
+//     maximal) on the session's edge- or vertex-oriented kernels,
+//     reporting the count in Stats.KCliques.
+//
+// The mce command exposes these as -maxclique, -topk and -kcliques; the
+// mced daemon as the job "type" field (max_clique, top_k, kclique_count —
+// see internal/service). The README's "Job types" table summarises all
+// five types across the three surfaces.
+//
 // Per-request variation on a shared session goes through QueryOptions:
 // Session.EnumerateWith and Session.CountWith override the run knobs
 // (worker count, MaxCliques budget, emit batching, phase timers) for one
@@ -182,7 +209,8 @@
 //
 // The root package is a thin facade over the internal engine:
 //
-//   - internal/core — the branch-and-bound engines, sessions, ET/GR
+//   - internal/core — the branch-and-bound engines, sessions, ET/GR,
+//     and the workload queries (MaxClique, TopK, CountKCliques)
 //   - internal/service — the mced daemon: dataset registry, streaming
 //     jobs, admission control, distributed coordinator
 //   - internal/distrib — shard descriptors and range planning shared by
@@ -197,8 +225,9 @@
 //     invariants (allocation-free hot path, arena windows, Stats merge
 //     coverage, mutex guards, stop-latch polling)
 //
-// The cmd/ directory ships six tools: mce (enumerate, with -timeout and
-// -maxcliques bounds), mced (the resident enumeration daemon), mcegen
+// The cmd/ directory ships six tools: mce (all five job types, with
+// -timeout and -maxcliques bounds), mced (the resident enumeration
+// daemon), mcegen
 // (generate workloads), mcebench (reproduce the paper's tables and
 // figures, optionally as JSON lines), mceverify (audit a clique file
 // against its graph) and mcelint (the static-analysis suite; run it with

@@ -112,11 +112,73 @@ func ExampleProfileGraph() {
 	// n=9 m=27 δ=6 τ=3
 }
 
-// ExampleCountKCliques lists fixed-size cliques with the EBBkC substrate.
+// ExampleCountKCliques counts fixed-size cliques; the one-shot wrapper
+// runs Session.CountKCliques on the session kernels under the default
+// options.
 func ExampleCountKCliques() {
 	g := hbbmc.GenerateMoonMoser(3) // complete 3-partite, parts of 3
 	triangles, _ := hbbmc.CountKCliques(g, 3)
 	fmt.Println(triangles) // C(3,3)·3^3
 	// Output:
 	// 27
+}
+
+// Example_maxClique solves the exact maximum-clique problem on a session:
+// branch and bound over the same cached branches enumeration uses, with
+// the witness clique as the result.
+func Example_maxClique() {
+	b := hbbmc.NewBuilder(6)
+	// A 4-clique {0,1,2,3} plus a triangle {3,4,5} hanging off it.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	b.AddEdge(3, 4)
+	b.AddEdge(3, 5)
+	b.AddEdge(4, 5)
+	g := b.MustBuild()
+
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	clique, stats, err := sess.MaxClique(context.Background(), hbbmc.QueryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(clique, stats.MaxCliqueSize)
+	// Output:
+	// [0 1 2 3] 4
+}
+
+// Example_topK asks a session for the k largest maximal cliques, returned
+// size-descending (ties broken lexicographically).
+func Example_topK() {
+	b := hbbmc.NewBuilder(7)
+	// A 4-clique, a separate triangle, and one stray edge.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	b.AddEdge(4, 5)
+	b.AddEdge(4, 6)
+	b.AddEdge(5, 6)
+	g := b.MustBuild()
+
+	sess, err := hbbmc.NewSession(g, hbbmc.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	top, _, err := sess.TopK(context.Background(), 2, hbbmc.QueryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range top {
+		fmt.Println(c)
+	}
+	// Output:
+	// [0 1 2 3]
+	// [4 5 6]
 }

@@ -1,6 +1,7 @@
 package hbbmc
 
 import (
+	"context"
 	"io"
 	"math"
 
@@ -299,5 +300,15 @@ func ListKCliques(g *Graph, k int, emit func(clique []int32)) (int64, error) {
 	return kclique.List(g, k, emit)
 }
 
-// CountKCliques returns the number of k-cliques of g.
-func CountKCliques(g *Graph, k int) (int64, error) { return kclique.Count(g, k) }
+// CountKCliques returns the number of k-cliques of g. It is a convenience
+// wrapper over Session.CountKCliques with the default options: build a
+// Session directly to amortise the preprocessing across queries, pick the
+// worker count, or cancel via a context.
+func CountKCliques(g *Graph, k int) (int64, error) {
+	s, err := core.NewSession(g, core.Defaults())
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := s.CountKCliques(context.Background(), k, QueryOptions{})
+	return n, err
+}

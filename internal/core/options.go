@@ -8,6 +8,18 @@
 // vertex or edge ordering, and a branch-local recursion over dense bitset
 // adjacency. See DESIGN.md §2 for the correctness argument, in particular
 // for the masked-adjacency treatment of edge-oriented branches.
+//
+// A Session caches the preprocessing of one (graph, options) pair and
+// serves every query type against it: maximal-clique enumeration
+// (Session.Enumerate and friends), the exact maximum-clique solver
+// (Session.MaxClique — branch and bound over the same cost-ordered
+// branches, greedy-coloring upper bound, atomically shared incumbent;
+// maxclique.go), the k largest maximal cliques (Session.TopK — the
+// unchanged enumeration through a tightening worst-first heap; topk.go),
+// and k-clique counting (Session.CountKCliques — the edge/vertex kernels
+// without maximality filtering; kcliquecount.go). ARCHITECTURE.md's
+// "Where to add a new job type" section walks through the pattern these
+// share.
 package core
 
 import (

@@ -209,6 +209,10 @@ func (s *Stats) merge(o *Stats) {
 	s.EarlyTerminations += o.EarlyTerminations
 	s.ETCliques += o.ETCliques
 	s.SuppressedLeaves += o.SuppressedLeaves
+	s.BnBCalls += o.BnBCalls
+	s.BnBPrunes += o.BnBPrunes
+	s.IncumbentUpdates += o.IncumbentUpdates
+	s.KCliques += o.KCliques
 	s.UniverseTime += o.UniverseTime
 	s.PivotTime += o.PivotTime
 	s.ETTime += o.ETTime

@@ -54,6 +54,16 @@ type Session struct {
 	schedule      []int32
 	scheduleBytes atomic.Int64
 
+	// Lazy source-graph basis for CountKCliques when the session's cached
+	// orderings cannot count k-cliques exactly (a reduction removed vertices,
+	// or the algorithm has no top-level ordering): a degeneracy ordering of
+	// src plus an identity reduction. kcBytes mirrors its size for
+	// MemoryEstimate, like scheduleBytes does for the schedule.
+	kcOnce       sync.Once
+	kcOrd, kcPos []int32
+	kcRed        *reduce.Result
+	kcBytes      atomic.Int64
+
 	// Lazily computed identity of the session's work decomposition, used by
 	// the distributed coordinator (internal/distrib) to verify that a peer
 	// would enumerate the exact same branch space before handing it a range.
@@ -262,6 +272,7 @@ func (s *Session) MemoryEstimate() int64 {
 		b += s.inc.MemoryFootprint()
 	}
 	b += s.scheduleBytes.Load()
+	b += s.kcBytes.Load()
 	return b
 }
 

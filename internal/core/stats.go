@@ -101,6 +101,19 @@ type Stats struct {
 	//hbbmc:nomerge read from the shared emit sink after workers join
 	EmitBatches int64 `json:"emit_batches"`
 
+	// Workload-query counters (Session.MaxClique, Session.TopK and
+	// Session.CountKCliques). BnBCalls counts the branch-and-bound
+	// recursion nodes of a maximum-clique query and BnBPrunes the subtrees
+	// cut by the greedy-coloring upper bound or the shared incumbent;
+	// IncumbentUpdates counts improvements of the incumbent clique
+	// (including the heuristic seed). KCliques is the k-clique count of a
+	// CountKCliques query — workers sum their per-branch partial counts, so
+	// the field merges like Cliques does.
+	BnBCalls         int64 `json:"bnb_calls,omitempty"`
+	BnBPrunes        int64 `json:"bnb_prunes,omitempty"`
+	IncumbentUpdates int64 `json:"incumbent_updates,omitempty"`
+	KCliques         int64 `json:"k_cliques,omitempty"`
+
 	// Shard counters of the distributed coordinator (internal/distrib and
 	// the mced -peers mode): branch-range descriptors dispatched to peer
 	// nodes, dispatch attempts that failed and were re-dispatched or

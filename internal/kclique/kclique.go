@@ -2,7 +2,11 @@
 // technique of Wang, Yu & Long (SIGMOD 2024, reference [19] of the paper)
 // whose branching strategy and truss-based edge ordering HBBMC migrates to
 // maximal clique enumeration. It serves both as the substrate the paper
-// builds on and as a standalone k-clique lister.
+// builds on and as a standalone streaming k-clique lister (the backend of
+// hbbmc.ListKCliques). Counting-only queries run on the session kernels
+// instead — core.Session.CountKCliques reuses a session's cached ordering
+// and incidence and parallelises; this package's Count remains as the
+// lister's counting mode and as an independent differential oracle.
 //
 // For k ≥ 3 the top level creates one branch per edge in truss order; the
 // branch's candidates are the common neighbors whose triangle edges both

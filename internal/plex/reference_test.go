@@ -1,14 +1,12 @@
-// Package plex implements the paper's early-termination construction
-// (Section IV): when a branch's candidate graph is a t-plex with t ≤ 3 and
-// the exclusion graph is empty, all maximal cliques can be built directly
-// from the topology of the complement graph instead of branching.
-//
-// The complement of a t-plex with t ≤ 3 has maximum degree ≤ 2, so its
-// connected components are isolated vertices, simple paths or simple cycles.
-// Maximal cliques of the plex are exactly F ∪ (one maximal independent set
-// per complement path/cycle), where F is the set of complement-isolated
-// vertices (Algorithms 5–8 of the paper).
 package plex
+
+// This file holds the readable reference implementations of the paper's
+// early-termination construction (Algorithms 5–8): complement decomposition
+// and maximal-independent-set enumeration over explicit vertex slices and an
+// adjacency callback. The production path is Scratch (scratch.go), driven by
+// internal/core over bitset universes; these implementations survive as the
+// differential oracle the Scratch tests compare against and as executable
+// documentation of the construction.
 
 // Adjacency reports whether two vertices of the candidate set are adjacent.
 // The enumeration functions only probe pairs of vertices they were given.

@@ -1,3 +1,18 @@
+// Package plex implements the paper's early-termination construction
+// (Section IV): when a branch's candidate graph is a t-plex with t ≤ 3 and
+// the exclusion graph is empty, all maximal cliques can be built directly
+// from the topology of the complement graph instead of branching.
+//
+// The complement of a t-plex with t ≤ 3 has maximum degree ≤ 2, so its
+// connected components are isolated vertices, simple paths or simple cycles.
+// Maximal cliques of the plex are exactly F ∪ (one maximal independent set
+// per complement path/cycle), where F is the set of complement-isolated
+// vertices (Algorithms 5–8 of the paper).
+//
+// The production entry point is Scratch, the reusable allocation-free
+// emitter internal/core drives from its bitset complement decomposition.
+// The readable reference implementations of Algorithms 5–8 live in
+// reference_test.go as the differential oracle for Scratch.
 package plex
 
 // Scratch is a reusable, allocation-free emitter for the early-termination

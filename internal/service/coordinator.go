@@ -84,7 +84,7 @@ type coordinator struct {
 // shard work.
 func (s *Server) startCoordinatedJob(w http.ResponseWriter, req *jobRequest, sess *hbbmc.Session, cached bool, timeout time.Duration, buffer int) {
 	q := hbbmc.QueryOptions{MaxCliques: req.MaxCliques}
-	j := s.jobs.create(req.Dataset, req.Mode, sess.Options(), q, 0, buffer)
+	j := s.jobs.create(req.Dataset, req.Mode, 0, sess.Options(), q, 0, buffer)
 	j.mu.Lock()
 	j.sessionCached = cached
 	j.prepTime = sess.PrepTime()

@@ -40,7 +40,11 @@ func (s JobState) terminal() bool {
 type Job struct {
 	ID      string
 	Dataset string
-	Mode    string // "enumerate" or "count"
+	// Mode is the resolved job type: "enumerate", "count", "max_clique",
+	// "top_k" or "kclique_count" (the request's "type" and legacy "mode"
+	// fields are aliases for it).
+	Mode    string
+	K       int // the k of a top_k or kclique_count job
 	Opts    hbbmc.Options
 	Query   hbbmc.QueryOptions
 	Workers int // worker slots held while running
@@ -54,6 +58,9 @@ type Job struct {
 	errMsg string
 	//hbbmc:guardedby mu
 	stats *hbbmc.Stats
+	// maxClique is the witness clique of a finished max_clique job.
+	//hbbmc:guardedby mu
+	maxClique []int32
 	//hbbmc:guardedby mu
 	created time.Time
 	//hbbmc:guardedby mu
@@ -83,11 +90,16 @@ type Job struct {
 	done        chan struct{} // closed when the state turns terminal
 }
 
-// JobView is the JSON representation of a Job.
+// JobView is the JSON representation of a Job. Type and Mode carry the same
+// value — Type is the canonical name, Mode the pre-workload-query alias kept
+// for older clients.
 type JobView struct {
-	ID         string   `json:"id"`
-	Dataset    string   `json:"dataset"`
-	Mode       string   `json:"mode"`
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Type    string `json:"type"`
+	Mode    string `json:"mode"`
+	// K is the k of a top_k or kclique_count job.
+	K          int      `json:"k,omitempty"`
 	Algorithm  string   `json:"algorithm"`
 	State      JobState `json:"state"`
 	StopReason string   `json:"stop_reason,omitempty"`
@@ -104,7 +116,11 @@ type JobView struct {
 	Sharded     bool    `json:"sharded,omitempty"`
 	BranchRange *[2]int `json:"branch_range,omitempty"`
 	// Delivered counts cliques handed to the streaming client so far.
-	Delivered int64        `json:"cliques_delivered"`
+	Delivered int64 `json:"cliques_delivered"`
+	// MaxClique is the witness of a finished max_clique job (sorted original
+	// vertex ids); its size is Stats.MaxCliqueSize. A kclique_count job's
+	// count is Stats.KCliques.
+	MaxClique []int32      `json:"max_clique,omitempty"`
 	Stats     *hbbmc.Stats `json:"stats,omitempty"`
 	CreatedAt string       `json:"created_at"`
 	StartedAt string       `json:"started_at,omitempty"`
@@ -118,7 +134,10 @@ func (j *Job) View() JobView {
 	v := JobView{
 		ID:            j.ID,
 		Dataset:       j.Dataset,
+		Type:          j.Mode,
 		Mode:          j.Mode,
+		K:             j.K,
+		MaxClique:     j.maxClique,
 		Algorithm:     j.Opts.Algorithm.String(),
 		State:         j.state,
 		StopReason:    j.stopReason,
@@ -187,13 +206,14 @@ func newJobManager(maxHistory int, m *metrics) *jobManager {
 	return &jobManager{jobs: make(map[string]*Job), maxHistory: maxHistory, m: m}
 }
 
-func (jm *jobManager) create(dataset, mode string, opts hbbmc.Options, q hbbmc.QueryOptions, workers, buffer int) *Job {
+func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q hbbmc.QueryOptions, workers, buffer int) *Job {
 	jm.mu.Lock()
 	jm.seq++
 	j := &Job{
 		ID:        fmt.Sprintf("j%06d", jm.seq),
 		Dataset:   dataset,
-		Mode:      mode,
+		Mode:      typ,
+		K:         k,
 		Opts:      opts,
 		Query:     q,
 		Workers:   workers,
@@ -202,7 +222,9 @@ func (jm *jobManager) create(dataset, mode string, opts hbbmc.Options, q hbbmc.Q
 		cancelled: make(chan struct{}),
 		done:      make(chan struct{}),
 	}
-	if mode == "enumerate" {
+	if typ == "enumerate" || typ == "top_k" {
+		// The job types that deliver cliques over /cliques get a stream
+		// channel; the scalar-result types report through Stats instead.
 		j.cliques = make(chan []int32, buffer)
 	}
 	jm.jobs[j.ID] = j
@@ -210,6 +232,9 @@ func (jm *jobManager) create(dataset, mode string, opts hbbmc.Options, q hbbmc.Q
 	jm.pruneLocked()
 	jm.mu.Unlock()
 	jm.m.jobsQueued.Add(1)
+	if c := jm.m.jobsByType(typ); c != nil {
+		c.Add(1)
+	}
 	return j
 }
 

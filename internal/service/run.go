@@ -18,9 +18,22 @@ import (
 // fields default to one worker, no clique budget and no deadline.
 type jobRequest struct {
 	Dataset string `json:"dataset"`
-	// Mode is "enumerate" (stream cliques over /cliques) or "count"
-	// (statistics only). "" = enumerate.
+	// Type selects the query the job runs:
+	//
+	//	enumerate      stream every maximal clique over /cliques
+	//	count          count maximal cliques (statistics only)
+	//	max_clique     exact maximum clique (witness in the job view)
+	//	top_k          the k largest maximal cliques, streamed over /cliques
+	//	kclique_count  the number of k-vertex cliques (Stats.KCliques)
+	//
+	// "" defaults to Mode (the pre-workload-query alias), then "enumerate".
+	Type string `json:"type"`
+	// Mode is the legacy name of Type ("enumerate" or "count"). Setting both
+	// to different values is an error.
 	Mode string `json:"mode"`
+	// K is the k of a top_k or kclique_count job (required, >= 1); it is
+	// rejected on the other types.
+	K int `json:"k"`
 
 	// Algorithm-relevant options; together with the dataset they select the
 	// cached session.
@@ -96,12 +109,38 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	switch req.Mode {
-	case "":
-		req.Mode = "enumerate"
-	case "enumerate", "count":
+	typ := req.Type
+	if typ == "" {
+		typ = req.Mode
+	}
+	if typ == "" {
+		typ = "enumerate"
+	}
+	if req.Type != "" && req.Mode != "" && req.Type != req.Mode {
+		writeError(w, http.StatusBadRequest, "type %q and mode %q disagree", req.Type, req.Mode)
+		return
+	}
+	switch typ {
+	case "enumerate", "count", "max_clique", "top_k", "kclique_count":
 	default:
-		writeError(w, http.StatusBadRequest, "invalid mode %q (enumerate or count)", req.Mode)
+		writeError(w, http.StatusBadRequest,
+			"invalid type %q (enumerate, count, max_clique, top_k or kclique_count)", typ)
+		return
+	}
+	switch typ {
+	case "top_k", "kclique_count":
+		if req.K < 1 {
+			writeError(w, http.StatusBadRequest, "%s jobs need k >= 1, got %d", typ, req.K)
+			return
+		}
+	default:
+		if req.K != 0 {
+			writeError(w, http.StatusBadRequest, "k applies to top_k and kclique_count jobs only")
+			return
+		}
+	}
+	if req.BranchRange != nil && typ != "enumerate" && typ != "count" {
+		writeError(w, http.StatusBadRequest, "branch_range applies to enumerate and count jobs only")
 		return
 	}
 	if req.MaxCliques < 0 {
@@ -186,10 +225,14 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		buffer = maxStreamBuffer
 	}
 
-	// Coordinator mode: a plain job on a node with peers is not executed
-	// locally — it is split into branch-interval shards and fanned out to
-	// the peers, the job here becoming the merge point of their streams.
-	if len(s.cfg.Peers) > 0 && req.BranchRange == nil {
+	// Coordinator mode: a plain enumerate/count job on a node with peers is
+	// not executed locally — it is split into branch-interval shards and
+	// fanned out to the peers, the job here becoming the merge point of
+	// their streams. The workload queries (max_clique, top_k, kclique_count)
+	// have no branch-range decomposition protocol yet and run locally on the
+	// coordinator instead.
+	if len(s.cfg.Peers) > 0 && req.BranchRange == nil && (typ == "enumerate" || typ == "count") {
+		req.Mode = typ
 		s.startCoordinatedJob(w, &req, sess, cached, timeout, buffer)
 		return
 	}
@@ -214,7 +257,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		BranchHi:   branchHi,
 	}
 
-	j := s.jobs.create(req.Dataset, req.Mode, sess.Options(), q, workers, buffer)
+	j := s.jobs.create(req.Dataset, typ, req.K, sess.Options(), q, workers, buffer)
 	j.mu.Lock()
 	j.sessionCached = cached
 	j.prepTime = sess.PrepTime()
@@ -299,26 +342,54 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.View())
 }
 
-// runJob executes one admitted job and always releases its worker slots.
+// runJob executes one admitted job — dispatching on its type — and always
+// releases its worker slots.
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, sess *hbbmc.Session) {
 	defer cancel()
-	var visit hbbmc.Visitor
-	if j.cliques != nil {
+	var stats *hbbmc.Stats
+	var runErr error
+	switch j.Mode {
+	case "max_clique":
+		var clique []int32
+		clique, stats, runErr = sess.MaxClique(ctx, j.Query)
+		j.mu.Lock()
+		j.maxClique = clique
+		j.mu.Unlock()
+	case "top_k":
+		var cliques [][]int32
+		cliques, stats, runErr = sess.TopK(ctx, j.K, j.Query)
+		// The results exist only after the full enumeration; push them into
+		// the stream channel now. The channel may be smaller than k, so a
+		// missing client still exerts backpressure here — bounded by k lines
+		// rather than the whole enumeration.
 		done := ctx.Done()
-		visit = func(c []int32) bool {
-			cp := append([]int32(nil), c...)
-			// The bounded channel is the backpressure: a slow (or absent)
-			// streaming client blocks the enumeration here until it drains
-			// or the job is cancelled.
+		for _, c := range cliques {
 			select {
-			case j.cliques <- cp:
-				return true
+			case j.cliques <- c:
 			case <-done:
-				return false
 			}
 		}
+	case "kclique_count":
+		_, stats, runErr = sess.CountKCliques(ctx, j.K, j.Query)
+	default:
+		var visit hbbmc.Visitor
+		if j.cliques != nil {
+			done := ctx.Done()
+			visit = func(c []int32) bool {
+				cp := append([]int32(nil), c...)
+				// The bounded channel is the backpressure: a slow (or absent)
+				// streaming client blocks the enumeration here until it drains
+				// or the job is cancelled.
+				select {
+				case j.cliques <- cp:
+					return true
+				case <-done:
+					return false
+				}
+			}
+		}
+		stats, runErr = sess.EnumerateWith(ctx, j.Query, visit)
 	}
-	stats, runErr := sess.EnumerateWith(ctx, j.Query, visit)
 	s.slots.Release(j.Workers)
 	if runErr != nil && stats == nil {
 		s.jobs.markFailed(j, runErr.Error())

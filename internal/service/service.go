@@ -27,6 +27,15 @@
 //	GET    /v1/jobs/{id}/cliques    NDJSON clique stream (one reader)
 //	DELETE /v1/jobs/{id}            cancel
 //
+// Job types: POST /v1/jobs takes a "type" field selecting the query —
+// "enumerate" (default; stream every maximal clique), "count" (statistics
+// only), "max_clique" (exact maximum clique; the witness appears as
+// "max_clique" in the job view), "top_k" (the k largest maximal cliques,
+// streamed like an enumeration) and "kclique_count" (the number of
+// k-vertex cliques, reported as Stats.KCliques). top_k and kclique_count
+// require "k" >= 1. All types run against the same cached session; the
+// legacy "mode" field is an alias for "type".
+//
 // Admission control: every job holds as many worker slots as the worker
 // goroutines its query runs, acquired FIFO from a global semaphore sized to
 // Config.WorkerSlots. A request that cannot be admitted within
@@ -148,6 +157,10 @@ type metrics struct {
 	sessionBytes                      expvar.Int // gauge
 	datasets                          expvar.Int // gauge
 	admissionRejected                 expvar.Int
+	// Per-type job submission counters, bumped when a job of that type is
+	// created (admitted or not).
+	jobsEnumerate, jobsCount                  expvar.Int
+	jobsMaxClique, jobsTopK, jobsKCliqueCount expvar.Int
 	// Coordinator-mode shard accounting: descriptors handed to the fan-out,
 	// re-dispatch attempts (retries and straggler re-splits) and descriptors
 	// that exhausted their retry budget.
@@ -174,10 +187,33 @@ func (m *metrics) vars() []struct {
 		{"session_cache_bytes", &m.sessionBytes},
 		{"datasets", &m.datasets},
 		{"admission_rejected", &m.admissionRejected},
+		{"jobs_type_enumerate", &m.jobsEnumerate},
+		{"jobs_type_count", &m.jobsCount},
+		{"jobs_type_max_clique", &m.jobsMaxClique},
+		{"jobs_type_top_k", &m.jobsTopK},
+		{"jobs_type_kclique_count", &m.jobsKCliqueCount},
 		{"shards_dispatched", &m.shardsDispatched},
 		{"shards_retried", &m.shardsRetried},
 		{"shards_failed", &m.shardsFailed},
 	}
+}
+
+// jobsByType returns the submission counter of one job type (nil for an
+// unknown type, which validation upstream should have rejected).
+func (m *metrics) jobsByType(typ string) *expvar.Int {
+	switch typ {
+	case "enumerate":
+		return &m.jobsEnumerate
+	case "count":
+		return &m.jobsCount
+	case "max_clique":
+		return &m.jobsMaxClique
+	case "top_k":
+		return &m.jobsTopK
+	case "kclique_count":
+		return &m.jobsKCliqueCount
+	}
+	return nil
 }
 
 // Server is the mced HTTP service. Create one with New and mount it as an
@@ -280,7 +316,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // Version identifies the mced API generation; /v1/info reports it so
 // operators (and the coordinator's peer probe) can spot skewed fleets.
-const Version = "mced/0.7"
+const Version = "mced/0.8"
 
 // nodeInfo is the GET /v1/info body: what a coordinator needs to know about
 // a node before handing it work — capacity, peers and, for every loaded

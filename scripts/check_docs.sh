@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# check_docs.sh — assert the README's flag tables match the actual flag
+# sets of mce and mced, in both directions:
+#
+#   * every flag the binary defines (flag.FlagSet output via -h) must
+#     appear as `-flag` in the README section for that tool;
+#   * every `-flag` the README section documents must exist in the binary.
+#
+# Run by the CI lint job; run locally with ./scripts/check_docs.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check() {
+  local tool=$1 section=$2
+  local bin actual documented
+  bin=$(mktemp -t "check_docs_${tool}.XXXXXX")
+  go build -o "$bin" "./cmd/$tool"
+  # flag.PrintDefaults writes "  -name ..." lines (one per flag) to stderr
+  # when -h is passed; the exit status 2 is expected (hence the || true
+  # under set -e -o pipefail).
+  actual=$("$bin" -h 2>&1 | awk '/^  -/{print $1}' | sort -u || true)
+  rm -f "$bin"
+  if [ -z "$actual" ]; then
+    echo "check_docs: could not extract any flags from $tool -h" >&2
+    fail=1
+    return
+  fi
+  # README flags: the `-flag` tokens between the section heading and the
+  # next heading.
+  documented=$(awk -v sec="$section" '
+    index($0, sec) == 1 { insec = 1; next }
+    insec && /^#/       { insec = 0 }
+    insec               { print }
+  ' README.md | grep -oE '`-[a-z-]+`' | tr -d '`' | sort -u || true)
+  if [ -z "$documented" ]; then
+    echo "check_docs: README section \"$section\" not found or empty" >&2
+    fail=1
+    return
+  fi
+  local f
+  for f in $actual; do
+    if ! grep -qx -- "$f" <<<"$documented"; then
+      echo "check_docs: $tool defines $f but the README section \"$section\" does not document it" >&2
+      fail=1
+    fi
+  done
+  for f in $documented; do
+    if ! grep -qx -- "$f" <<<"$actual"; then
+      echo "check_docs: README documents $f under \"$section\" but $tool does not define it" >&2
+      fail=1
+    fi
+  done
+}
+
+check mce '### `mce` flags'
+check mced '### `mced` flags'
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: README flag tables match the mce/mced flag sets"
+fi
+exit "$fail"
