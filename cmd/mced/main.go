@@ -8,8 +8,10 @@
 //	mced [-addr 127.0.0.1:8399] [-portfile path]
 //	     [-dataset name=path ...] [-slots N] [-queue-wait 2s] [-queue-len N]
 //	     [-session-budget 1GiB] [-stream-buffer 1024] [-job-history 256]
+//	     [-journal dir] [-checkpoint-interval 2s]
 //	     [-peers url,url,...] [-shard-inflight N] [-shard-timeout 1m]
 //	     [-shard-retries N] [-shard-branches N]
+//	     [-breaker-threshold N] [-breaker-cooldown 10s]
 //
 // Start the daemon, register a dataset and stream a job:
 //
@@ -28,6 +30,17 @@
 // down gracefully: running jobs are cancelled and their partial statistics
 // persisted before the process exits.
 //
+// -journal makes jobs crash-safe: submissions, branch-level progress
+// checkpoints and terminal results are appended to a write-ahead log in the
+// given directory, fsync'd before they are acknowledged. A daemon restarted
+// with the same -journal dir replays the log, re-registers its datasets and
+// resumes interrupted jobs from their last durable checkpoint — counts
+// re-run only the incomplete branches, and streaming clients reconnect with
+// ?resume_after= to receive each clique exactly once. -checkpoint-interval
+// throttles how often progress is persisted (negative = every branch
+// chunk). /readyz answers 503 until the replay has been applied. See the
+// README's "Fault tolerance" section.
+//
 // -peers turns the node into a distributed coordinator: jobs are split into
 // top-level branch shards and fanned out to the listed worker nodes, whose
 // clique streams merge into the one stream the client reads. Workers run
@@ -35,7 +48,10 @@
 // concurrently dispatched shards, -shard-timeout bounds one shard attempt
 // (stragglers are re-split or re-dispatched), -shard-retries bounds the
 // re-dispatches per shard and -shard-branches caps a shard's branch
-// interval. See the README's "Distributed serving" section.
+// interval. Repeatedly failing peers trip a per-peer circuit breaker:
+// after -breaker-threshold consecutive failures the peer is quarantined
+// for -breaker-cooldown, then a single probe shard decides whether it
+// rejoins the rotation. See the README's "Distributed serving" section.
 package main
 
 import (
@@ -51,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/graphmining/hbbmc/internal/chaos"
 	"github.com/graphmining/hbbmc/internal/service"
 )
 
@@ -96,11 +113,17 @@ func main() {
 		jobHistory   = flag.Int("job-history", 0, "terminal jobs retained for status queries (0 = 256)")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown bound for cancelling running jobs")
 
+		journalDir = flag.String("journal", "", "directory for the crash-recovery job journal (empty = no journal)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "min interval between durable branch-progress checkpoints (0 = 2s, negative = every chunk)")
+
 		peers         = flag.String("peers", "", "comma-separated worker base URLs; non-empty enables coordinator mode")
 		shardInflight = flag.Int("shard-inflight", 0, "max shards dispatched concurrently (0 = 2×peers)")
 		shardTimeout  = flag.Duration("shard-timeout", 0, "per-shard attempt bound; stragglers are re-split or re-dispatched (0 = 1m)")
 		shardRetries  = flag.Int("shard-retries", 0, "re-dispatches per failed shard before the job fails (0 = 3, negative = none)")
 		shardBranches = flag.Int("shard-branches", 0, "max top-level branches per shard (0 = 4096)")
+
+		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive peer failures that trip its circuit breaker (0 = 5)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "quarantine before an open breaker admits a probe shard (0 = 10s)")
 	)
 	flag.Var(&datasets, "dataset", "register a dataset at boot as name=path (repeatable)")
 	flag.Parse()
@@ -115,29 +138,43 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
-	srv := service.New(service.Config{
-		WorkerSlots:      *slots,
-		QueueWait:        *queueWait,
-		MaxQueue:         *queueLen,
-		SessionBudget:    budgetBytes,
-		StreamBuffer:     *streamBuffer,
-		MaxJobHistory:    *jobHistory,
-		Peers:            peerList,
-		ShardInflight:    *shardInflight,
-		ShardTimeout:     *shardTimeout,
-		ShardRetries:     *shardRetries,
-		ShardMaxBranches: *shardBranches,
+	if err := chaos.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	var bootDatasets []service.DatasetSpec
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		bootDatasets = append(bootDatasets, service.DatasetSpec{Name: name, Path: path})
+	}
+	srv, err := service.Open(service.Config{
+		WorkerSlots:        *slots,
+		QueueWait:          *queueWait,
+		MaxQueue:           *queueLen,
+		SessionBudget:      budgetBytes,
+		StreamBuffer:       *streamBuffer,
+		MaxJobHistory:      *jobHistory,
+		JournalDir:         *journalDir,
+		CheckpointInterval: *ckptEvery,
+		Peers:              peerList,
+		ShardInflight:      *shardInflight,
+		ShardTimeout:       *shardTimeout,
+		ShardRetries:       *shardRetries,
+		ShardMaxBranches:   *shardBranches,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		BootDatasets:       bootDatasets,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if *journalDir != "" {
+		fmt.Fprintf(os.Stderr, "mced: journaling jobs to %s\n", *journalDir)
+	}
 	if len(peerList) > 0 {
 		fmt.Fprintf(os.Stderr, "mced: coordinator mode, %d peer(s)\n", len(peerList))
 	}
-	for _, spec := range datasets {
-		name, path, _ := strings.Cut(spec, "=")
-		info, err := srv.Registry().Register(name, path, "auto")
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "mced: registered dataset %q from %s\n", info.Name, info.Path)
+	for _, d := range bootDatasets {
+		fmt.Fprintf(os.Stderr, "mced: registered dataset %q from %s\n", d.Name, d.Path)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

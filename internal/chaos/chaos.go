@@ -1,0 +1,183 @@
+// Package chaos is a deterministic fault-injection harness: named points in
+// production code paths (journal appends, replay, rotation) call Inject and
+// normally pay a single atomic load. A test — or an operator reproducing an
+// incident — arms a point with an action, and the next time execution
+// reaches it the action fires: a simulated crash, an injected error, or a
+// delay. Injection is deterministic: a point fires on every hit while
+// armed, so "kill the daemon at the first checkpoint append" is a
+// reproducible experiment, not a race.
+//
+// Arming happens through the test API (Arm/Disarm/Reset) or the MCED_CHAOS
+// environment variable, a semicolon-separated list of point=action pairs:
+//
+//	MCED_CHAOS='journal.append.torn=crash;service.replay=delay:200ms'
+//
+// Actions:
+//
+//	crash        Inject returns ErrCrash. The caller decides what a crash
+//	             means at that point — the journal wedges itself (all later
+//	             writes dropped), leaving exactly the on-disk state a
+//	             kill -9 at that instant would have left.
+//	error:MSG    Inject returns an injected error with message MSG.
+//	delay:DUR    Inject sleeps for the Go duration DUR, then returns nil.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCrash is returned by Inject at a point armed with the "crash" action.
+// Callers translate it into their own crash semantics (the journal wedges;
+// a subprocess harness may exit).
+var ErrCrash = errors.New("chaos: injected crash")
+
+// point is one armed injection site.
+type point struct {
+	action string        // "crash" | "error" | "delay"
+	msg    string        // error message for "error"
+	delay  time.Duration // sleep for "delay"
+	fired  atomic.Int64
+}
+
+var (
+	mu sync.RWMutex
+	//hbbmc:guardedby mu
+	points map[string]*point
+	// active is the fast-path gate: zero means no point is armed anywhere
+	// and Inject returns after one atomic load.
+	active atomic.Int32
+)
+
+// Enabled reports whether any point is armed.
+func Enabled() bool { return active.Load() != 0 }
+
+// Inject fires the named point if it is armed. It returns ErrCrash for a
+// crash action, an injected error for an error action, and nil otherwise
+// (after sleeping, for a delay action). Unarmed points cost one atomic load.
+func Inject(name string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	p.fired.Add(1)
+	switch p.action {
+	case "crash":
+		return ErrCrash
+	case "error":
+		return fmt.Errorf("chaos: injected error at %s: %s", name, p.msg)
+	case "delay":
+		time.Sleep(p.delay)
+	}
+	return nil
+}
+
+// Arm arms one point with an action spec ("crash", "error:MSG",
+// "delay:DUR"). Re-arming replaces the previous action.
+func Arm(name, spec string) error {
+	if name == "" {
+		return errors.New("chaos: empty point name")
+	}
+	p := &point{}
+	action, arg, _ := strings.Cut(spec, ":")
+	switch action {
+	case "crash":
+		p.action = "crash"
+	case "error":
+		p.action = "error"
+		if arg == "" {
+			arg = "injected"
+		}
+		p.msg = arg
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return fmt.Errorf("chaos: invalid delay %q for point %s", arg, name)
+		}
+		p.action = "delay"
+		p.delay = d
+	default:
+		return fmt.Errorf("chaos: unknown action %q for point %s (crash, error:MSG, delay:DUR)", spec, name)
+	}
+	mu.Lock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, existed := points[name]; !existed {
+		active.Add(1)
+	}
+	points[name] = p
+	mu.Unlock()
+	return nil
+}
+
+// Disarm removes one armed point; unknown names are a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		active.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point. Tests call it in cleanup so armed points never
+// leak across cases.
+func Reset() {
+	mu.Lock()
+	for range points {
+		active.Add(-1)
+	}
+	points = nil
+	mu.Unlock()
+}
+
+// Fired returns how many times the named point has fired since it was
+// (last) armed; 0 for unarmed points.
+func Fired(name string) int64 {
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// ArmFromEnv arms every point listed in the MCED_CHAOS environment variable
+// (semicolon- or comma-separated point=action pairs). Malformed entries are
+// an error so a typo in an experiment fails loudly instead of silently not
+// injecting.
+func ArmFromEnv() error {
+	return armSpec(os.Getenv("MCED_CHAOS"))
+}
+
+func armSpec(env string) error {
+	if env == "" {
+		return nil
+	}
+	for _, entry := range strings.FieldsFunc(env, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("chaos: malformed MCED_CHAOS entry %q (want point=action)", entry)
+		}
+		if err := Arm(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() with no armed points")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+}
+
+func TestCrashAndError(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("p.crash", "crash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm("p.err", "error:boom"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() false with armed points")
+	}
+	if err := Inject("p.crash"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("crash point returned %v, want ErrCrash", err)
+	}
+	if err := Inject("p.err"); err == nil || errors.Is(err, ErrCrash) {
+		t.Fatalf("error point returned %v", err)
+	}
+	if got := Fired("p.crash"); got != 1 {
+		t.Fatalf("Fired(p.crash) = %d, want 1", got)
+	}
+	// A crash point keeps firing deterministically on every hit.
+	if err := Inject("p.crash"); !errors.Is(err, ErrCrash) {
+		t.Fatal("second hit did not fire")
+	}
+	Disarm("p.crash")
+	if err := Inject("p.crash"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("p.slow", "delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("p.slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay point slept only %v", d)
+	}
+}
+
+func TestArmSpecParsing(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := armSpec("a=crash; b=delay:1ms,c=error:x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		mu.RLock()
+		_, ok := points[name]
+		mu.RUnlock()
+		if !ok {
+			t.Fatalf("point %q not armed", name)
+		}
+	}
+	for _, bad := range []string{"a", "x=explode", "y=delay:fast"} {
+		Reset()
+		if err := armSpec(bad); err == nil {
+			t.Fatalf("armSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -301,6 +301,30 @@ type QueryOptions struct {
 	// PhaseTimers enables per-phase timers for this query. It cannot turn
 	// off timers enabled in the session's Options.
 	PhaseTimers bool
+	// BranchDone, when non-nil, observes durable enumeration progress: it is
+	// invoked once per completed unit of top-level work with the unit's
+	// half-open schedule-position interval [lo, hi), the number of cliques
+	// the unit delivered to the visitor, and a running maximum clique size
+	// that is at least the unit's own maximum. One degenerate call with
+	// lo == hi == 0 reports the preprocessing residue (reduction cliques and,
+	// for the edge-oriented frameworks, isolated vertices), which a hooked
+	// run emits before any branch so that "residue plus branches [0, W)" is a
+	// well-defined resumable prefix. Units are branches on the sequential
+	// driver and work-queue chunks on the parallel one; a unit whose
+	// completion or delivery is uncertain (the run was stopped or cancelled
+	// mid-unit) is never reported, so a checkpoint built from these calls
+	// only ever under-claims. The hook is called from at most one goroutine
+	// at a time but not always the caller's; it must not call back into the
+	// session.
+	BranchDone func(lo, hi int, cliques int64, maxCliqueSize int)
+	// OrderedEmit makes a parallel enumeration deliver cliques to the
+	// visitor in ascending schedule-position order (residue first, then each
+	// branch chunk in turn), trading emit pipelining for a deterministic,
+	// resumable stream: everything delivered before BranchDone reports unit
+	// [lo, hi) belongs to residue + branches [0, hi). Implied by BranchDone
+	// when a visitor is set. No effect on sequential runs, which are already
+	// ordered.
+	OrderedEmit bool
 	// BranchLo and BranchHi restrict the query to the half-open interval
 	// [BranchLo, BranchHi) of top-level branch schedule positions — the
 	// execution side of a distributed work descriptor (internal/distrib).
@@ -383,7 +407,7 @@ func (s *Session) EnumerateWith(ctx context.Context, q QueryOptions, visit Visit
 	if err != nil {
 		return nil, err
 	}
-	return s.enumerateRange(ctx, opts, q.rng(), visit)
+	return s.enumerateRange(ctx, opts, q.rng(), progress{hook: q.BranchDone, ordered: q.OrderedEmit}, visit)
 }
 
 // CountWith is Count with per-query overrides; see EnumerateWith.
@@ -478,12 +502,20 @@ func resolveWorkers(w int) int {
 // callers) lets a parallel request that clamps down to one worker still
 // record its fallback reason in Stats.ParallelFallback.
 func (s *Session) enumerate(ctx context.Context, opts Options, visit Visitor) (*Stats, error) {
-	return s.enumerateRange(ctx, opts, branchRange{}, visit)
+	return s.enumerateRange(ctx, opts, branchRange{}, progress{}, visit)
+}
+
+// progress bundles the per-query durability hooks of QueryOptions: the
+// branch-completion observer and the ordered-emission request. The zero
+// value is a plain query.
+type progress struct {
+	hook    func(lo, hi int, cliques int64, maxCliqueSize int)
+	ordered bool
 }
 
 // enumerateRange is enumerate restricted to a branch interval; rng's zero
 // value runs the full branch space.
-func (s *Session) enumerateRange(ctx context.Context, opts Options, rng branchRange, visit Visitor) (*Stats, error) {
+func (s *Session) enumerateRange(ctx context.Context, opts Options, rng branchRange, prog progress, visit Visitor) (*Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -492,22 +524,28 @@ func (s *Session) enumerateRange(ctx context.Context, opts Options, rng branchRa
 			return nil, fmt.Errorf("core: branch range [%d,%d) exceeds the session's %d top-level branches", rng.lo, rng.hi, n)
 		}
 	}
+	if prog.hook != nil && !rng.set {
+		// Progress intervals are schedule positions, so a hooked run must
+		// iterate the schedule even when unranged — otherwise a checkpoint
+		// taken now would name different branches than the ranged resume.
+		rng = branchRange{lo: 0, hi: s.NumTopBranches(), set: true}
+	}
 	rc := newRunControl(ctx, opts)
 	requested := opts.Workers
 	workers := resolveWorkers(requested)
 	var stats *Stats
 	switch {
 	case workers <= 1:
-		stats = s.runSequential(rc, opts, rng, visit)
+		stats = s.runSequential(rc, opts, rng, prog, visit)
 		if requested > 1 || requested == UseAllCores {
 			stats.ParallelFallback = "single worker"
 		}
 	default:
 		if reason := sequentialFallback(opts, workers); reason != "" {
-			stats = s.runSequential(rc, opts, rng, visit)
+			stats = s.runSequential(rc, opts, rng, prog, visit)
 			stats.ParallelFallback = reason
 		} else {
-			stats = s.runParallel(rc, opts, workers, rng, visit)
+			stats = s.runParallel(rc, opts, workers, rng, prog, visit)
 		}
 	}
 	return stats, rc.err()
@@ -560,7 +598,7 @@ func emitReduced(rc *runControl, stats *Stats, cliques [][]int32, visit Visitor)
 // vertices of the edge-oriented split — is emitted only by the interval
 // containing position 0, so shards that partition the branch space
 // partition the clique set too.
-func (s *Session) runSequential(rc *runControl, opts Options, rng branchRange, visit Visitor) *Stats {
+func (s *Session) runSequential(rc *runControl, opts Options, rng branchRange, prog progress, visit Visitor) *Stats {
 	stats := s.baseStats(1)
 	enum := time.Now()
 	if rng.lo == 0 {
@@ -570,26 +608,63 @@ func (s *Session) runSequential(rc *runControl, opts Options, rng branchRange, v
 		e := newEngine(s.res, s.red, opts, stats, visit, rc)
 		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
+		edgeDriven := opts.Algorithm == EBBMC || opts.Algorithm == HBBMC
+		if prog.hook != nil {
+			// Residue first under a progress hook: the isolated-vertex pass
+			// of the edge-oriented split moves ahead of the branch loop so a
+			// checkpoint at watermark W covers exactly residue + [0, W).
+			if edgeDriven && rng.lo == 0 {
+				e.runIsolatedVertices()
+			}
+			if !rc.halted() && rng.lo == 0 {
+				prog.hook(0, 0, stats.Cliques, stats.MaxCliqueSize)
+			}
+		}
 		switch opts.Algorithm {
 		case BK, BKPivot:
 			// The single whole-graph branch is position 0 of a one-branch
 			// schedule; an interval excluding it has nothing to run.
 			if !rng.set || (rng.lo == 0 && rng.hi > 0) {
+				before := stats.Cliques
 				e.runWholeGraph()
+				if prog.hook != nil && !rc.halted() {
+					prog.hook(0, 1, stats.Cliques-before, stats.MaxCliqueSize)
+				}
 			}
 		case BKRef, BKDegen, BKRcd, BKFac, BKDegree:
-			if !rng.set {
+			switch {
+			case !rng.set:
 				e.runVertexOrdered(s.vertOrd, s.vertPos)
-			} else {
+			case prog.hook == nil:
 				e.runVertexOrderedSched(s.vertOrd, s.vertPos, s.branchSchedule(), rng.lo, rng.hi)
+			default:
+				sched := s.branchSchedule()
+				for i := rng.lo; i < rng.hi && !rc.halted(); i++ {
+					before := stats.Cliques
+					e.runVertexOrderedSched(s.vertOrd, s.vertPos, sched, i, i+1)
+					if !rc.halted() {
+						prog.hook(i, i+1, stats.Cliques-before, stats.MaxCliqueSize)
+					}
+				}
 			}
 		case EBBMC, HBBMC:
-			if !rng.set {
+			switch {
+			case !rng.set:
 				e.runEdgeOrdered()
-			} else {
+			case prog.hook == nil:
 				e.runEdgeOrderedSched(s.branchSchedule(), rng.lo, rng.hi)
 				if rng.lo == 0 && !rc.halted() {
 					e.runIsolatedVertices()
+				}
+			default:
+				// Isolated vertices already ran above, residue-first.
+				sched := s.branchSchedule()
+				for i := rng.lo; i < rng.hi && !rc.halted(); i++ {
+					before := stats.Cliques
+					e.runEdgeOrderedSched(sched, i, i+1)
+					if !rc.halted() {
+						prog.hook(i, i+1, stats.Cliques-before, stats.MaxCliqueSize)
+					}
 				}
 			}
 		}
@@ -603,7 +678,7 @@ func (s *Session) runSequential(rc *runControl, opts Options, rng branchRange, v
 // cancellation and early stops at top-branch granularity, so the call
 // returns within one branch granule of the signal with all goroutines
 // joined.
-func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng branchRange, visit Visitor) *Stats {
+func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng branchRange, prog progress, visit Visitor) *Stats {
 	stats := s.baseStats(workers)
 	enum := time.Now()
 	if rng.lo == 0 {
@@ -627,25 +702,58 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng bra
 	if !ablateStaticStride {
 		sched = s.branchSchedule()
 	}
+	ordered := visit != nil && !ablateStaticStride && (prog.ordered || prog.hook != nil)
+	if prog.hook != nil || ordered {
+		// Residue first under a progress hook or ordered emission: the
+		// isolated-vertex pass moves ahead of the workers (the sink does not
+		// exist yet, so the engine delivers straight to the visitor) and the
+		// degenerate residue call anchors the checkpoint protocol before
+		// branch 0.
+		if edgeDriven && lo == 0 {
+			e := newEngine(s.res, s.red, opts, stats, visit, rc)
+			configureEngine(e, opts)
+			e.eo, e.inc = s.eo, s.inc
+			e.runIsolatedVertices()
+		}
+		if rc.halted() {
+			stats.EnumTime = time.Since(enum)
+			return stats
+		}
+		if prog.hook != nil && lo == 0 {
+			prog.hook(0, 0, stats.Cliques, stats.MaxCliqueSize)
+		}
+	}
 	queue := newWorkQueueRange(lo, hi, workers, opts.ParallelChunkSize)
 	queue.rampUp = sched != nil && opts.ParallelChunkSize <= 0
 	sink := &emitSink{visit: visit, rc: rc}
+	var oseq *orderedSeq
+	if ordered {
+		oseq = newOrderedSeq(visit, rc, prog.hook, lo)
+	}
 
 	workerStats := make([]*Stats, workers)
+	// hookMu upholds BranchDone's one-goroutine-at-a-time contract on the
+	// counting path, where chunks complete concurrently (the ordered path
+	// fires the hook from the single releasing goroutine instead).
+	var hookMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ws := &Stats{}
 		workerStats[w] = ws
 		var batcher *emitBatcher
+		var writer *orderedWriter
 		var workerEmit Visitor
-		if visit != nil {
-			if ablateStaticStride {
-				// Seed behavior under ablation: one lock round-trip per clique.
-				workerEmit = sink.emitLocking
-			} else {
-				batcher = newEmitBatcher(sink, opts.EmitBatchSize)
-				workerEmit = batcher.add
-			}
+		switch {
+		case visit == nil:
+		case oseq != nil:
+			writer = &orderedWriter{}
+			workerEmit = writer.add
+		case ablateStaticStride:
+			// Seed behavior under ablation: one lock round-trip per clique.
+			workerEmit = sink.emitLocking
+		default:
+			batcher = newEmitBatcher(sink, opts.EmitBatchSize)
+			workerEmit = batcher.add
 		}
 		e := newEngine(s.res, s.red, opts, ws, workerEmit, rc)
 		configureEngine(e, opts)
@@ -666,10 +774,26 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng bra
 					if !ok {
 						break
 					}
+					before := ws.Cliques
+					if writer != nil {
+						writer.cur = &orderedChunk{begin: begin, end: end}
+					}
 					if edgeDriven {
 						e.runEdgeOrderedSched(sched, begin, end)
 					} else {
 						e.runVertexOrderedSched(s.vertOrd, s.vertPos, sched, begin, end)
+					}
+					switch {
+					case oseq != nil:
+						oseq.complete(writer.cur)
+					case prog.hook != nil && !rc.stopped():
+						// Counting run: no delivery to sequence, so report
+						// each completed chunk as soon as its counts are
+						// certain. The hook consumer merges the intervals
+						// into a contiguous-prefix watermark itself.
+						hookMu.Lock()
+						prog.hook(begin, end, ws.Cliques-before, ws.MaxCliqueSize)
+						hookMu.Unlock()
 					}
 				}
 			}
@@ -679,11 +803,15 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng bra
 		}()
 	}
 	wg.Wait()
+	if oseq != nil {
+		oseq.abandon()
+	}
 	// Isolated vertices of the edge-ordered drivers are handled once,
 	// outside the workers; with the workers joined, the sink lock is
 	// uncontended. Like the reduction cliques they belong to the branch
-	// interval containing position 0.
-	if edgeDriven && lo == 0 && !rc.halted() {
+	// interval containing position 0. Hooked runs already emitted them
+	// before the workers, residue-first.
+	if edgeDriven && lo == 0 && !rc.halted() && prog.hook == nil && !ordered {
 		e := newEngine(s.res, s.red, opts, stats, sink.direct(), rc)
 		configureEngine(e, opts)
 		e.eo, e.inc = s.eo, s.inc
@@ -697,6 +825,10 @@ func (s *Session) runParallel(rc *runControl, opts Options, workers int, rng bra
 	// means "reported to the caller" on every path.
 	stats.Cliques -= sink.droppedCount()
 	stats.EmitBatches = sink.batches.Load()
+	if oseq != nil {
+		stats.Cliques -= oseq.droppedCount()
+		stats.EmitBatches = oseq.released.Load()
+	}
 	stats.EnumTime = time.Since(enum)
 	return stats
 }

@@ -1,0 +1,68 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service"
+)
+
+// TestBreakerQuarantinesDeadPeer points a coordinator at one live worker
+// and one dead address: the job must still deliver the exact clique set,
+// the dead peer's circuit breaker must trip open, and the quarantine must
+// be visible in /v1/info and the mced_peer_* metrics.
+func TestBreakerQuarantinesDeadPeer(t *testing.T) {
+	withTestProcs(t, 2)
+	g := hbbmc.GenerateER(200, 1200, 31)
+	want := refCliqueSet(t, g)
+
+	// A listener that is already gone: every dial is refused instantly.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c := newCluster(t, 1, "er", g, func(cfg *service.Config) {
+		cfg.Peers = append(cfg.Peers, deadURL)
+		cfg.BreakerThreshold = 1
+		cfg.BreakerCooldown = time.Minute
+	})
+
+	v := c.coord.startJob(map[string]any{"dataset": "er", "mode": "enumerate", "workers": 2})
+	cliques, trailer := streamJob(t, c.coord, v.ID)
+	sameCliqueSet(t, "dead-peer cluster", cliqueSet(t, cliques), want)
+	if trailer == nil || trailer["state"] != string(service.StateDone) {
+		t.Fatalf("trailer = %v, want done", trailer)
+	}
+
+	resp, data := c.coord.do("GET", "/v1/info", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/info: %d %s", resp.StatusCode, data)
+	}
+	var info struct {
+		PeerBreakers map[string]string `json:"peer_breakers"`
+	}
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if st := info.PeerBreakers[deadURL]; st != "open" {
+		t.Fatalf("dead peer breaker = %q, want open (all: %v)", st, info.PeerBreakers)
+	}
+	for peer, st := range info.PeerBreakers {
+		if peer != deadURL && st != "closed" {
+			t.Fatalf("live peer %s breaker = %q, want closed", peer, st)
+		}
+	}
+	if n := c.coord.metric("peer_failures"); n < 1 {
+		t.Fatalf("peer_failures = %d, want ≥ 1", n)
+	}
+	if n := c.coord.metric("peer_breaker_trips"); n < 1 {
+		t.Fatalf("peer_breaker_trips = %d, want ≥ 1", n)
+	}
+	if n := c.coord.metric("peer_breaker_open"); n != 1 {
+		t.Fatalf("peer_breaker_open = %d, want 1", n)
+	}
+}

@@ -207,9 +207,37 @@ func (co *coordinator) fail(err error) {
 // (drawn from the global round-robin cursor, spreading initial load) plus
 // the attempt index. The attempt offset is the failover guarantee — a
 // shard's consecutive attempts visit distinct peers, so one dead node can
-// never eat a whole retry budget while a healthy one sits idle.
+// never eat a whole retry budget while a healthy one sits idle. Peers whose
+// circuit breaker is open are skipped; if every breaker refuses, the
+// natural slot is used anyway (dispatching into an open breaker beats
+// stalling the shard — its failure feeds the breaker's cooldown clock).
 func (co *coordinator) peerFor(base, attempt int) string {
-	return co.peers[(base+attempt)%len(co.peers)]
+	n := len(co.peers)
+	if bs := co.s.breakers; bs != nil {
+		for off := 0; off < n; off++ {
+			peer := co.peers[(base+attempt+off)%n]
+			if bs.allow(peer) {
+				return peer
+			}
+		}
+	}
+	return co.peers[(base+attempt)%n]
+}
+
+// reportShard feeds one dispatch outcome into the peer's circuit breaker.
+// Only clean successes and transient failures count: a fatal verdict
+// condemns the job (not the peer) and a split blames the shard's size.
+func (co *coordinator) reportShard(peer string, verdict shardVerdict) {
+	bs := co.s.breakers
+	if bs == nil {
+		return
+	}
+	switch verdict {
+	case shardOK:
+		bs.success(peer)
+	case shardRetry:
+		bs.failure(peer)
+	}
 }
 
 // runShard resolves one descriptor: dispatch, retry with jittered backoff,
@@ -240,7 +268,9 @@ func (co *coordinator) runShard(ctx context.Context, d distrib.Descriptor, launc
 				return
 			}
 		}
-		res, verdict, err := co.tryShard(ctx, d, co.peerFor(base, attempt))
+		peer := co.peerFor(base, attempt)
+		res, verdict, err := co.tryShard(ctx, d, peer)
+		co.reportShard(peer, verdict)
 		switch verdict {
 		case shardOK:
 			co.deliver(ctx, res)
@@ -293,7 +323,7 @@ func (co *coordinator) deliver(ctx context.Context, res *shardResult) {
 				break
 			}
 			select {
-			case co.j.cliques <- c:
+			case co.j.cliques <- streamItem{c: c}:
 				co.delivered++
 			case <-ctx.Done():
 				return
@@ -354,8 +384,14 @@ func (co *coordinator) verifyPeers(ctx context.Context) ([]string, error) {
 		info, err := co.fetchInfo(pctx, base)
 		cancel()
 		if err != nil {
+			if co.s.breakers != nil {
+				co.s.breakers.failure(base)
+			}
 			reasons = append(reasons, fmt.Sprintf("%s: %v", base, err))
 			continue
+		}
+		if co.s.breakers != nil {
+			co.s.breakers.success(base)
 		}
 		var ds *DatasetInfo
 		for i := range info.Datasets {
@@ -441,9 +477,11 @@ func classifyDispatchErr(ctx, shCtx context.Context) shardVerdict {
 }
 
 // shardLine decodes one NDJSON record of a shard stream: a clique line
-// ({"c":[...]}), or the trailer ({"done":true,...}).
+// ({"c":[...]}), a checkpoint marker ({"ckpt":W}) or the trailer
+// ({"done":true,...}).
 type shardLine struct {
 	C          []int32      `json:"c"`
+	Ckpt       int          `json:"ckpt,omitempty"`
 	Done       bool         `json:"done"`
 	State      JobState     `json:"state"`
 	StopReason string       `json:"stop_reason"`
@@ -545,6 +583,10 @@ func (co *coordinator) consumeStream(ctx, shCtx context.Context, peer, id string
 			return nil, shardRetry, fmt.Errorf("peer %s job %s ended %s (%s%s)", peer, id, rec.State, rec.StopReason, rec.Error)
 		case rec.C != nil:
 			res.cliques = append(res.cliques, rec.C)
+		case rec.Ckpt > 0:
+			// A journaled worker's checkpoint marker. The coordinator's own
+			// buffer-then-forward barrier already guarantees exactly-once,
+			// so markers are simply skipped.
 		default:
 			return nil, shardRetry, fmt.Errorf("peer %s job %s: stream record is neither clique nor trailer", peer, id)
 		}

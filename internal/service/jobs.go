@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
 // JobState is one step of the job lifecycle:
@@ -31,6 +33,16 @@ const (
 
 func (s JobState) terminal() bool {
 	return s == StateDone || s == StateStopped || s == StateFailed
+}
+
+// streamItem is one element of a job's clique channel: either a clique on
+// its way to the NDJSON stream, or (ckpt > 0) a checkpoint marker telling
+// the client that every clique of residue + branches [0, ckpt) has been
+// delivered and the watermark is durable — the cursor a reconnecting client
+// hands back as ?resume_after=.
+type streamItem struct {
+	c    []int32
+	ckpt int
 }
 
 // Job is one enumeration or count run against a registered dataset. The
@@ -76,6 +88,20 @@ type Job struct {
 	// nodes and it held no local worker slots.
 	//hbbmc:guardedby mu
 	sharded bool
+	// journaled marks a job recorded in the write-ahead journal; its
+	// terminal state (except a server-shutdown stop, which must stay
+	// resumable) is appended there too.
+	//hbbmc:guardedby mu
+	journaled bool
+	// resume holds the journal-replayed progress of a restored job until a
+	// resume run consumes it; nil on fresh jobs.
+	//hbbmc:guardedby mu
+	resume *resumeState
+	// ckptBase is the durable prefix a resumed run starts from: its totals
+	// are folded into the run's final Stats so the job reports the whole
+	// logical enumeration, not just the re-run suffix.
+	//hbbmc:guardedby mu
+	ckptBase journal.Ckpt
 
 	//hbbmc:guardedby mu
 	cancel       context.CancelFunc
@@ -84,10 +110,19 @@ type Job struct {
 	// it is the signal that reaches a job still waiting in admission.
 	cancelled   chan struct{}
 	cancelOnce  sync.Once
-	cliques     chan []int32 // nil for count jobs
+	cliques     chan streamItem // nil for count jobs
 	streamClaim atomic.Bool
 	delivered   atomic.Int64
 	done        chan struct{} // closed when the state turns terminal
+}
+
+// resumeState is the journal-replayed progress of one restored job.
+type resumeState struct {
+	req       jobRequest // the original submission, replayed verbatim
+	crc       string     // graph fingerprint the job ran against ("" = never ran)
+	branches  int        // NumTopBranches of the original session
+	watermark int        // highest durable checkpoint (0 = none)
+	ckpts     map[int]journal.Ckpt
 }
 
 // JobView is the JSON representation of a Job. Type and Mode carry the same
@@ -200,6 +235,9 @@ type jobManager struct {
 	seq        int64
 	maxHistory int
 	m          *metrics
+	// jnl is the write-ahead journal (nil when the server runs without one);
+	// terminal transitions of journaled jobs are appended to it.
+	jnl *journal.Journal
 }
 
 func newJobManager(maxHistory int, m *metrics) *jobManager {
@@ -225,7 +263,7 @@ func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q h
 	if typ == "enumerate" || typ == "top_k" {
 		// The job types that deliver cliques over /cliques get a stream
 		// channel; the scalar-result types report through Stats instead.
-		j.cliques = make(chan []int32, buffer)
+		j.cliques = make(chan streamItem, buffer)
 	}
 	jm.jobs[j.ID] = j
 	jm.order = append(jm.order, j.ID)
@@ -236,6 +274,52 @@ func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q h
 		c.Add(1)
 	}
 	return j
+}
+
+// restore inserts a journal-replayed job under its original ID and bumps
+// the sequence past it, so fresh submissions never collide with restored
+// history. Terminal restores are history only; non-terminal ones re-enter
+// the queued gauge.
+func (jm *jobManager) restore(j *Job) {
+	jm.mu.Lock()
+	if _, ok := jm.jobs[j.ID]; ok {
+		jm.mu.Unlock()
+		return
+	}
+	jm.jobs[j.ID] = j
+	jm.order = append(jm.order, j.ID)
+	var n int64
+	if _, err := fmt.Sscanf(j.ID, "j%06d", &n); err == nil && n > jm.seq {
+		jm.seq = n
+	}
+	jm.mu.Unlock()
+	if !j.State().terminal() {
+		jm.m.jobsQueued.Add(1)
+	}
+}
+
+// journalTerminal appends a journaled job's terminal record. A stop caused
+// by the server's own shutdown is deliberately not recorded: the job must
+// replay as interrupted so the restarted daemon resumes it.
+func (jm *jobManager) journalTerminal(j *Job) {
+	if jm.jnl == nil {
+		return
+	}
+	j.mu.Lock()
+	journaled := j.journaled
+	state, reason, errMsg := j.state, j.stopReason, j.errMsg
+	stats := j.stats
+	j.mu.Unlock()
+	if !journaled || reason == "server shutdown" {
+		return
+	}
+	var raw json.RawMessage
+	if stats != nil {
+		raw, _ = json.Marshal(stats)
+	}
+	// Best-effort: a wedged (crash-injected) or failing journal must not
+	// change the job's outcome, only what a restart can recover.
+	_ = jm.jnl.AppendTerminal(j.ID, string(state), reason, errMsg, raw)
 }
 
 // pruneLocked drops the oldest terminal jobs beyond the history limit so a
@@ -300,6 +384,7 @@ func (jm *jobManager) markStopped(j *Job, reason string) {
 	j.mu.Unlock()
 	jm.m.jobsQueued.Add(-1)
 	jm.m.jobsStopped.Add(1)
+	jm.journalTerminal(j)
 	close(j.done)
 }
 
@@ -318,6 +403,7 @@ func (jm *jobManager) markFailed(j *Job, msg string) {
 		jm.m.jobsQueued.Add(-1)
 	}
 	jm.m.jobsFailed.Add(1)
+	jm.journalTerminal(j)
 	close(j.done)
 }
 
@@ -366,5 +452,6 @@ func (jm *jobManager) finish(j *Job, stats *hbbmc.Stats, runErr error, ctx conte
 	default:
 		jm.m.jobsFailed.Add(1)
 	}
+	jm.journalTerminal(j)
 	close(j.done)
 }

@@ -1,0 +1,474 @@
+// Package journal is mced's write-ahead job journal: an fsync'd,
+// CRC-framed, segmented append log recording dataset registrations, job
+// submissions, state transitions, branch-progress checkpoints and terminal
+// stats. A restarted daemon replays the segments to rebuild its dataset
+// registry and job table and to resume interrupted jobs from their last
+// durable branch watermark.
+//
+// On-disk format: segments named wal.NNNNNNNN, each a sequence of frames
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload JSON]
+//
+// Appends are fsync'd before they are acknowledged, so a record the caller
+// saw succeed survives a kill -9. Replay verifies each frame's CRC and
+// truncates the segment at the first bad or short frame — the torn tail a
+// crash mid-append leaves — and counts the truncation instead of failing.
+//
+// Rotation doubles as compaction: when the active segment exceeds the size
+// budget, the live state (datasets + non-terminal jobs with their
+// checkpoints) is snapshotted into a fresh segment and the older segments
+// are deleted. Terminal jobs age out of the journal at that moment.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/graphmining/hbbmc/internal/chaos"
+)
+
+// ErrWedged is returned by appends after an injected crash wedged the
+// journal: the on-disk state is frozen at the crash point, exactly as a
+// real process death would have left it, while the process (under test)
+// keeps running.
+var ErrWedged = errors.New("journal: wedged by injected crash")
+
+// CrashPoints names every chaos injection site in the append/checkpoint/
+// rotation path. The crash-matrix test arms each one in turn and proves
+// that replay from the resulting on-disk state converges to the same
+// results as an uninterrupted run.
+func CrashPoints() []string {
+	return []string{
+		"journal.append",        // before anything is written: the record is lost
+		"journal.append.torn",   // half the frame written: a torn tail to truncate
+		"journal.append.synced", // record fully durable, crash before acknowledging
+		"journal.ckpt",          // at a checkpoint append specifically
+		"journal.terminal",      // at a terminal append specifically
+		"journal.rotate",        // mid-rotation: snapshot written, old segments still present
+	}
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeader = 8
+	// maxRecordBytes guards replay against absurd lengths decoded from a
+	// corrupt frame header.
+	maxRecordBytes = 16 << 20
+	segPrefix      = "wal."
+)
+
+// Counters is a snapshot of the journal's cumulative counters, polled by
+// the service's /metrics handler.
+type Counters struct {
+	Records        int64 // records appended (snapshot records included)
+	Bytes          int64 // frame bytes appended
+	Rotations      int64 // segment rotations (each one compacts)
+	TruncatedTails int64 // corrupt tails truncated during replay
+	Segments       int64 // segments read by replay
+}
+
+// Journal is the open write-ahead log. Appends are serialized by mu and
+// fsync'd; all methods are safe for concurrent use.
+type Journal struct {
+	dir         string
+	maxSegBytes int64
+
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	f *os.File
+	//hbbmc:guardedby mu
+	seq int
+	//hbbmc:guardedby mu
+	size int64
+	// rotateAt is the size that triggers the next rotation: maxSegBytes,
+	// raised to twice the last compacted snapshot when the live state itself
+	// outgrows the budget. Without this a snapshot larger than the segment
+	// cap would re-trigger rotation on every subsequent append, rewriting
+	// the whole live state each time (a quadratic rotation storm).
+	//hbbmc:guardedby mu
+	rotateAt int64
+	//hbbmc:guardedby mu
+	wedged bool
+	// live mirrors the on-disk state so rotation can write a compacted
+	// snapshot without re-reading the segments.
+	//hbbmc:guardedby mu
+	live *Replay
+
+	records, bytes, rotations, truncated, segments atomic.Int64
+}
+
+// Options sizes the journal. The zero value uses the defaults.
+type Options struct {
+	// MaxSegmentBytes triggers rotation + compaction when the active
+	// segment grows past it (0 = 4 MiB).
+	MaxSegmentBytes int64
+}
+
+// Open replays the journal in dir (creating it if needed) and opens the
+// last segment for appending. The returned Replay is the reconstructed
+// state; the journal's live tracker starts from a copy of it.
+func Open(dir string, opts Options) (*Journal, *Replay, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, maxSegBytes: opts.MaxSegmentBytes, rotateAt: opts.MaxSegmentBytes}
+	// No caller can see j yet, but the guarded fields are initialized under
+	// the lock anyway so the invariant holds everywhere.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.live = newReplay()
+
+	segs, err := j.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, seq := range segs {
+		if err := j.replaySegmentLocked(seq); err != nil {
+			return nil, nil, err
+		}
+	}
+	j.segments.Store(int64(len(segs)))
+
+	j.seq = 1
+	if n := len(segs); n > 0 {
+		j.seq = segs[n-1]
+	}
+	f, err := os.OpenFile(j.segPath(j.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f, j.size = f, st.Size()
+
+	// Hand the caller its own copy of the replayed state; the journal keeps
+	// mutating live as records are appended.
+	out := newReplay()
+	for _, rec := range j.live.snapshot() {
+		rec := rec
+		_ = out.apply(&rec)
+	}
+	// snapshot drops terminal jobs (that is its point), but replay callers
+	// want them for job history: copy them over directly.
+	for _, id := range j.live.Order {
+		jr := j.live.Jobs[id]
+		if jr != nil && jr.Terminal() {
+			if _, ok := out.Jobs[id]; !ok {
+				out.Order = append(out.Order, id)
+			}
+			cp := *jr
+			out.Jobs[id] = &cp
+		}
+	}
+	sort.Strings(out.Order)
+	return j, out, nil
+}
+
+func (j *Journal) segPath(seq int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s%08d", segPrefix, seq))
+}
+
+// listSegments returns the existing segment sequence numbers in order.
+func (j *Journal) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), segPrefix+"%08d", &seq); err == nil && e.Name() == fmt.Sprintf("%s%08d", segPrefix, seq) {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// replaySegmentLocked reads one segment into the live state, truncating a
+// corrupt or short tail in place.
+func (j *Journal) replaySegmentLocked(seq int) error {
+	path := j.segPath(seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	off := 0
+	for {
+		n, rec, ok := decodeFrame(data[off:])
+		if !ok {
+			if off < len(data) {
+				// Torn tail: a crash mid-append. Truncate to the last whole
+				// frame so the next rotation does not re-trip on it.
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return fmt.Errorf("journal: truncating corrupt tail of %s: %w", path, err)
+				}
+				j.truncated.Add(1)
+			}
+			return nil
+		}
+		if n == 0 {
+			return nil // clean end
+		}
+		// Unknown or inconsistent records are skipped, not fatal: a journal
+		// written by a newer daemon must not brick an older one.
+		_ = j.live.apply(rec)
+		off += n
+	}
+}
+
+// decodeFrame decodes one frame from b. It returns (bytesConsumed, record,
+// true) for a whole valid frame, (0, nil, true) for a clean end (empty b),
+// and ok=false for a torn or corrupt frame.
+func decodeFrame(b []byte) (int, *Record, bool) {
+	if len(b) == 0 {
+		return 0, nil, true
+	}
+	if len(b) < frameHeader {
+		return 0, nil, false
+	}
+	length := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if length == 0 || length > maxRecordBytes || frameHeader+int(length) > len(b) {
+		return 0, nil, false
+	}
+	payload := b[frameHeader : frameHeader+int(length)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return 0, nil, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, nil, false
+	}
+	return frameHeader + int(length), &rec, true
+}
+
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// fault translates a chaos injection outcome: an injected crash wedges the
+// journal (the on-disk state freezes at the crash point), other injected
+// errors pass through.
+//
+// callers hold mu.
+func (j *Journal) faultLocked(err error) error {
+	if errors.Is(err, chaos.ErrCrash) {
+		j.wedged = true
+		return ErrWedged
+	}
+	return err
+}
+
+// append frames, writes and fsyncs one record, applying it to the live
+// state and rotating the segment when over budget. Chaos points cover the
+// lost-record, torn-tail and durable-but-unacknowledged crash shapes.
+func (j *Journal) append(rec *Record, extraPoints ...string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return ErrWedged
+	}
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	for _, p := range extraPoints {
+		if err := chaos.Inject(p); err != nil {
+			return j.faultLocked(err)
+		}
+	}
+	if err := chaos.Inject("journal.append"); err != nil {
+		return j.faultLocked(err)
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := chaos.Inject("journal.append.torn"); err != nil {
+		if errors.Is(err, chaos.ErrCrash) {
+			// Simulate the torn write a crash mid-append leaves behind:
+			// half the frame reaches the disk, then nothing ever again.
+			_, _ = j.f.Write(frame[:len(frame)/2])
+			_ = j.f.Sync()
+		}
+		return j.faultLocked(err)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size += int64(len(frame))
+	j.records.Add(1)
+	j.bytes.Add(int64(len(frame)))
+	_ = j.live.apply(rec)
+	if err := chaos.Inject("journal.append.synced"); err != nil {
+		return j.faultLocked(err)
+	}
+	if j.size >= j.rotateAt {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked writes the live state's compacted snapshot into a fresh
+// segment, switches appends to it, and deletes the older segments. A crash
+// between the snapshot fsync and the deletes leaves both generations on
+// disk; replay applies them in order, and snapshot records are idempotent,
+// so the state converges either way.
+func (j *Journal) rotateLocked() error {
+	newSeq := j.seq + 1
+	nf, err := os.OpenFile(j.segPath(newSeq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	var size int64
+	for _, rec := range j.live.snapshot() {
+		rec := rec
+		frame, err := encodeFrame(&rec)
+		if err != nil {
+			nf.Close()
+			return fmt.Errorf("journal: rotate: %w", err)
+		}
+		if _, err := nf.Write(frame); err != nil {
+			nf.Close()
+			return fmt.Errorf("journal: rotate: %w", err)
+		}
+		size += int64(len(frame))
+		j.records.Add(1)
+		j.bytes.Add(int64(len(frame)))
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if err := chaos.Inject("journal.rotate"); err != nil {
+		nf.Close()
+		return j.faultLocked(err)
+	}
+	oldSeq := j.seq
+	j.f.Close()
+	j.f, j.seq, j.size = nf, newSeq, size
+	// Doubling the trigger whenever the snapshot itself fills the budget
+	// keeps compaction amortized-linear even when one job accrues more
+	// checkpoint state than maxSegBytes.
+	j.rotateAt = j.maxSegBytes
+	if min := 2 * size; j.rotateAt < min {
+		j.rotateAt = min
+	}
+	// Terminal jobs age out here: the snapshot did not carry them, so drop
+	// them from the live tracker too.
+	for id, jr := range j.live.Jobs {
+		if jr.Terminal() {
+			delete(j.live.Jobs, id)
+		}
+	}
+	kept := j.live.Order[:0]
+	for _, id := range j.live.Order {
+		if _, ok := j.live.Jobs[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	j.live.Order = kept
+	for seq := oldSeq; seq >= 1; seq-- {
+		path := j.segPath(seq)
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return fmt.Errorf("journal: rotate: %w", err)
+		}
+	}
+	j.rotations.Add(1)
+	return nil
+}
+
+// Close fsyncs and closes the active segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Counters snapshots the cumulative counters.
+func (j *Journal) Counters() Counters {
+	return Counters{
+		Records:        j.records.Load(),
+		Bytes:          j.bytes.Load(),
+		Rotations:      j.rotations.Load(),
+		TruncatedTails: j.truncated.Load(),
+		Segments:       j.segments.Load(),
+	}
+}
+
+// Wedged reports whether an injected crash froze the journal.
+func (j *Journal) Wedged() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wedged
+}
+
+// AppendDataset journals a dataset registration.
+func (j *Journal) AppendDataset(name, path, format string) error {
+	return j.append(&Record{T: recDataset, Name: name, Path: path, Format: format})
+}
+
+// AppendDatasetRemove journals a dataset unregistration.
+func (j *Journal) AppendDatasetRemove(name string) error {
+	return j.append(&Record{T: recDatasetRemove, Name: name})
+}
+
+// AppendSubmit journals a job submission with its original request body.
+func (j *Journal) AppendSubmit(id string, req json.RawMessage) error {
+	return j.append(&Record{T: recSubmit, ID: id, Req: req})
+}
+
+// AppendRunning journals the queued→running transition with the session
+// fingerprints resume will verify.
+func (j *Journal) AppendRunning(id, crc, sessionKey string, branches int) error {
+	return j.append(&Record{T: recRunning, ID: id, CRC: crc, SessionKey: sessionKey, Branches: branches})
+}
+
+// AppendCkpt journals a branch-progress checkpoint: cumulative cliques and
+// max clique size over the residue plus branch positions [0, w).
+func (j *Journal) AppendCkpt(id string, w int, cliques int64, maxSize int) error {
+	return j.append(&Record{T: recCkpt, ID: id, W: w, Cliques: cliques, MaxSize: maxSize}, "journal.ckpt")
+}
+
+// AppendTerminal journals a terminal state with the final stats (opaque
+// JSON owned by the service).
+func (j *Journal) AppendTerminal(id, state, reason, errMsg string, stats json.RawMessage) error {
+	return j.append(&Record{T: recTerminal, ID: id, State: state, Reason: reason, Err: errMsg, Stats: stats}, "journal.terminal")
+}

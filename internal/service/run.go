@@ -11,6 +11,7 @@ import (
 
 	hbbmc "github.com/graphmining/hbbmc"
 	"github.com/graphmining/hbbmc/internal/distrib"
+	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
 // jobRequest is the POST /v1/jobs body. Omitted algorithm fields default to
@@ -63,6 +64,21 @@ type jobRequest struct {
 	Ordering    string  `json:"ordering,omitempty"`
 }
 
+// streamBufferFor clamps a client-requested stream buffer. The buffer is
+// eagerly allocated, so one request must not be able to force a giant
+// allocation.
+func (s *Server) streamBufferFor(requested int) int {
+	const maxStreamBuffer = 1 << 16
+	buffer := requested
+	if buffer <= 0 {
+		buffer = s.cfg.StreamBuffer
+	}
+	if buffer > maxStreamBuffer {
+		buffer = maxStreamBuffer
+	}
+	return buffer
+}
+
 // options maps the request to the session-defining Options. The per-run
 // knobs are deliberately excluded — MaxCliques and Workers travel through
 // QueryOptions so that requests with different limits share one session.
@@ -102,6 +118,10 @@ func (req *jobRequest) options() (hbbmc.Options, error) {
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.recovering.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is replaying its journal")
 		return
 	}
 	var req jobRequest
@@ -214,16 +234,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		branchLo, branchHi = lo, hi
 	}
 
-	// The buffer is client-controlled and eagerly allocated (24 bytes per
-	// slot): clamp it so one request cannot force a giant allocation.
-	const maxStreamBuffer = 1 << 16
-	buffer := req.Buffer
-	if buffer <= 0 {
-		buffer = s.cfg.StreamBuffer
-	}
-	if buffer > maxStreamBuffer {
-		buffer = maxStreamBuffer
-	}
+	buffer := s.streamBufferFor(req.Buffer)
 
 	// Coordinator mode: a plain enumerate/count job on a node with peers is
 	// not executed locally — it is split into branch-interval shards and
@@ -261,7 +272,21 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	j.sessionCached = cached
 	j.prepTime = sess.PrepTime()
+	// Shard jobs (explicit branch_range, run on behalf of a remote
+	// coordinator) are not journaled: the coordinator re-dispatches them
+	// itself, and journaling them here would resume work nobody owns.
+	j.journaled = s.jnl != nil && req.BranchRange == nil
+	journaled := j.journaled
 	j.mu.Unlock()
+	if journaled {
+		// The submission is durable before admission: a crash from here on
+		// replays the job as queued (or further along) instead of losing it.
+		jr := req
+		jr.Type, jr.Mode = typ, ""
+		if body, err := json.Marshal(&jr); err == nil {
+			_ = s.jnl.AppendSubmit(j.ID, body)
+		}
+	}
 
 	// Admission: hold the request while slots are busy, bounded by the
 	// configured queue wait; saturation is a 429, never an oversubscribed
@@ -342,22 +367,116 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.View())
 }
 
+// enumerateHook builds the BranchDone hook of a journaled enumerate job.
+// It runs on the core's single releasing goroutine, strictly after the
+// cliques of the unit it reports reached the visitor (ordered emission), so
+// it can append a durable checkpoint AND push the matching {"ckpt":W}
+// marker into the same stream with nothing out of order on either side.
+// base seeds the cumulative totals when the run resumes a durable prefix.
+func (s *Server) enumerateHook(ctx context.Context, j *Job, base journal.Ckpt) func(lo, hi int, cliques int64, max int) {
+	cum := base.Cliques
+	maxSize := base.MaxSize
+	last := time.Now()
+	interval := s.cfg.CheckpointInterval
+	done := ctx.Done()
+	return func(lo, hi int, cliques int64, max int) {
+		cum += cliques
+		if max > maxSize {
+			maxSize = max
+		}
+		// W=0 is not a valid resume point: resuming with BranchLo=0 would
+		// re-emit the preprocessing residue the W=0 call reported.
+		if hi < 1 || time.Since(last) < interval {
+			return
+		}
+		if s.jnl.AppendCkpt(j.ID, hi, cum, maxSize) != nil {
+			return // wedged or failing journal: keep enumerating, stop claiming
+		}
+		last = time.Now()
+		select {
+		case j.cliques <- streamItem{ckpt: hi}:
+		case <-done:
+		}
+	}
+}
+
+// countHook builds the BranchDone hook of a journaled count job. Count runs
+// are unordered — hook calls arrive out of schedule order from the workers
+// (serialized, but interleaved) — so completed intervals are merged into a
+// contiguous-prefix watermark and only the watermark is checkpointed.
+func (s *Server) countHook(j *Job, base journal.Ckpt, lo int) func(lo, hi int, cliques int64, max int) {
+	type interval struct {
+		hi      int
+		cliques int64
+	}
+	pending := make(map[int]interval)
+	w := lo // contiguous watermark: residue + [lo, w) are accounted
+	cum := base.Cliques
+	maxSize := base.MaxSize
+	last := time.Now()
+	intervalMin := s.cfg.CheckpointInterval
+	return func(clo, chi int, cliques int64, max int) {
+		if max > maxSize {
+			maxSize = max
+		}
+		if clo == 0 && chi == 0 {
+			cum += cliques // the residue call; always first when lo == 0
+		} else {
+			pending[clo] = interval{hi: chi, cliques: cliques}
+		}
+		for {
+			iv, ok := pending[w]
+			if !ok {
+				break
+			}
+			delete(pending, w)
+			cum += iv.cliques
+			w = iv.hi
+		}
+		if w < 1 || time.Since(last) < intervalMin {
+			return
+		}
+		if s.jnl.AppendCkpt(j.ID, w, cum, maxSize) == nil {
+			last = time.Now()
+		}
+	}
+}
+
 // runJob executes one admitted job — dispatching on its type — and always
-// releases its worker slots.
+// releases its worker slots. Journaled jobs additionally record the
+// running fingerprints and durable branch-progress checkpoints.
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, sess *hbbmc.Session) {
 	defer cancel()
+	j.mu.Lock()
+	journaled := j.journaled
+	base := j.ckptBase
+	j.mu.Unlock()
+	q := j.Query
+	if journaled {
+		// The running record anchors resume compatibility: the graph CRC and
+		// branch count a restart must reproduce before skipping any branch.
+		_ = s.jnl.AppendRunning(j.ID, distrib.FormatCRC(sess.GraphFingerprint()),
+			j.Opts.SessionKey(), sess.NumTopBranches())
+		switch j.Mode {
+		case "enumerate":
+			q.BranchDone = s.enumerateHook(ctx, j, base)
+			q.OrderedEmit = true
+		case "count":
+			q.BranchDone = s.countHook(j, base, q.BranchLo)
+		}
+	}
 	var stats *hbbmc.Stats
 	var runErr error
 	switch j.Mode {
 	case "max_clique":
 		var clique []int32
-		clique, stats, runErr = sess.MaxClique(ctx, j.Query)
+		clique, stats, runErr = sess.MaxClique(ctx, q)
 		j.mu.Lock()
 		j.maxClique = clique
 		j.mu.Unlock()
 	case "top_k":
 		var cliques [][]int32
-		cliques, stats, runErr = sess.TopK(ctx, j.K, j.Query)
+		cliques, stats, runErr = sess.TopK(ctx, j.K, q)
 		// The results exist only after the full enumeration; push them into
 		// the stream channel now. The channel may be smaller than k, so a
 		// missing client still exerts backpressure here — bounded by k lines
@@ -365,12 +484,12 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, 
 		done := ctx.Done()
 		for _, c := range cliques {
 			select {
-			case j.cliques <- c:
+			case j.cliques <- streamItem{c: c}:
 			case <-done:
 			}
 		}
 	case "kclique_count":
-		_, stats, runErr = sess.CountKCliques(ctx, j.K, j.Query)
+		_, stats, runErr = sess.CountKCliques(ctx, j.K, q)
 	default:
 		var visit hbbmc.Visitor
 		if j.cliques != nil {
@@ -381,14 +500,22 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, 
 				// streaming client blocks the enumeration here until it drains
 				// or the job is cancelled.
 				select {
-				case j.cliques <- cp:
+				case j.cliques <- streamItem{c: cp}:
 					return true
 				case <-done:
 					return false
 				}
 			}
 		}
-		stats, runErr = sess.EnumerateWith(ctx, j.Query, visit)
+		stats, runErr = sess.EnumerateWith(ctx, q, visit)
+	}
+	if stats != nil && base != (journal.Ckpt{}) {
+		// A resumed run enumerated only [cursor, N); fold the durable prefix
+		// back in so the job reports the whole logical enumeration.
+		stats.Cliques += base.Cliques
+		if base.MaxSize > stats.MaxCliqueSize {
+			stats.MaxCliqueSize = base.MaxSize
+		}
 	}
 	s.slots.Release(j.Workers)
 	if runErr != nil && stats == nil {
@@ -411,6 +538,15 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, 
 // cliqueLine is one NDJSON record of the stream: the clique's vertex ids.
 type cliqueLine struct {
 	C []int32 `json:"c"`
+}
+
+// ckptLine is a checkpoint marker in the stream: every clique of residue +
+// branches [0, W) has been delivered above this line and the watermark is
+// durable in the journal. A client that loses the connection discards
+// whatever it received after the last marker and reconnects with
+// ?resume_after=W to see the remaining cliques exactly once.
+type ckptLine struct {
+	Ckpt int `json:"ckpt"`
 }
 
 // streamTrailer is the stream's final NDJSON record. Stats lets a
@@ -444,8 +580,35 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job %s is a %s job; it has no clique stream", j.ID, j.Mode)
 		return
 	}
+	cursor := 0
+	if v := r.URL.Query().Get("resume_after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid resume_after %q", v)
+			return
+		}
+		cursor = n
+	}
 	if !j.streamClaim.CompareAndSwap(false, true) {
 		writeError(w, http.StatusConflict, "job %s already has a streaming client", j.ID)
+		return
+	}
+	j.mu.Lock()
+	rs := j.resume
+	j.mu.Unlock()
+	switch {
+	case rs != nil:
+		// A journal-restored job has no producer yet: start its resume run
+		// from the client's cursor before entering the stream loop.
+		if status, err := s.startResume(j, cursor); err != nil {
+			j.streamClaim.Store(false)
+			writeError(w, status, "%v", err)
+			return
+		}
+	case cursor != 0:
+		j.streamClaim.Store(false)
+		writeError(w, http.StatusBadRequest,
+			"job %s has no journaled progress to resume; resume_after applies to restored jobs", j.ID)
 		return
 	}
 
@@ -463,19 +626,19 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 	clientGone := r.Context().Done()
 	pending := 0
 	for {
-		var c []int32
+		var it streamItem
 		var open bool
 		if pending > 0 {
 			// Drain without blocking while lines are unflushed; flush on
 			// the first pause so a slow producer's cliques are not held
 			// back by the batch threshold.
 			select {
-			case c, open = <-j.cliques:
+			case it, open = <-j.cliques:
 			default:
 				flush()
 				pending = 0
 				select {
-				case c, open = <-j.cliques:
+				case it, open = <-j.cliques:
 				case <-clientGone:
 					j.requestCancel("client disconnected")
 					return
@@ -483,7 +646,7 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			select {
-			case c, open = <-j.cliques:
+			case it, open = <-j.cliques:
 			case <-clientGone:
 				j.requestCancel("client disconnected")
 				return
@@ -492,7 +655,18 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 		if !open {
 			break
 		}
-		if err := enc.Encode(cliqueLine{C: c}); err != nil {
+		if it.ckpt > 0 {
+			// A checkpoint marker: flushed immediately so the client's
+			// resume cursor is never stuck behind the batch threshold.
+			if err := enc.Encode(ckptLine{Ckpt: it.ckpt}); err != nil {
+				j.requestCancel("client disconnected")
+				return
+			}
+			flush()
+			pending = 0
+			continue
+		}
+		if err := enc.Encode(cliqueLine{C: it.c}); err != nil {
 			j.requestCancel("client disconnected")
 			return
 		}

@@ -59,6 +59,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
 // Config sizes the server. The zero value is usable: all defaults below.
@@ -103,6 +105,36 @@ type Config struct {
 	// the coordinator's per-shard clique buffering and a straggler's blast
 	// radius (0 = 4096).
 	ShardMaxBranches int
+
+	// JournalDir enables the write-ahead job journal: dataset registrations,
+	// job submissions, branch-progress checkpoints and terminal stats are
+	// fsync'd there, and a server built with Open replays the directory to
+	// restore and resume interrupted jobs. "" = no journal (New ignores it).
+	JournalDir string
+	// CheckpointInterval is the minimum spacing between durable branch
+	// checkpoints of one running job (0 = 2s; negative = checkpoint at every
+	// completed branch chunk).
+	CheckpointInterval time.Duration
+	// BreakerThreshold is the consecutive shard-dispatch failures that trip
+	// a peer's circuit breaker open (0 = 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped peer stays quarantined before a
+	// half-open probe may test it again (0 = 10s).
+	BreakerCooldown time.Duration
+
+	// BootDatasets are registered by Open at construction time, before any
+	// journal replay resumes interrupted jobs, so a restored job can resolve
+	// a dataset that was supplied by flag rather than over the API. Each is
+	// journaled like an API registration; a boot registration wins over a
+	// replayed one of the same name. A failing registration aborts Open.
+	BootDatasets []DatasetSpec
+}
+
+// DatasetSpec names one dataset to register at boot (Format "" = auto).
+type DatasetSpec struct {
+	Name   string
+	Path   string
+	Format string
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +174,18 @@ func (c Config) withDefaults() Config {
 	if c.ShardMaxBranches <= 0 {
 		c.ShardMaxBranches = 4096
 	}
+	switch {
+	case c.CheckpointInterval == 0:
+		c.CheckpointInterval = 2 * time.Second
+	case c.CheckpointInterval < 0:
+		c.CheckpointInterval = 0
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -165,6 +209,16 @@ type metrics struct {
 	// re-dispatch attempts (retries and straggler re-splits) and descriptors
 	// that exhausted their retry budget.
 	shardsDispatched, shardsRetried, shardsFailed expvar.Int
+	// Journal accounting (gauges mirroring journal.Counters, polled at
+	// render time) and resume accounting: replays performed, jobs restored
+	// from a replay, and branch schedule positions a resume skipped because
+	// a durable checkpoint already covered them.
+	journalRecords, journalBytes, journalTruncatedTails expvar.Int
+	journalReplays                                      expvar.Int
+	resumeJobsRestored, resumeBranchesSkipped           expvar.Int
+	// Peer circuit-breaker accounting: failed dispatch outcomes, breaker
+	// trips, and the currently-open breaker count (gauge).
+	peerFailures, peerBreakerTrips, peerBreakerOpen expvar.Int
 }
 
 func (m *metrics) vars() []struct {
@@ -195,6 +249,15 @@ func (m *metrics) vars() []struct {
 		{"shards_dispatched", &m.shardsDispatched},
 		{"shards_retried", &m.shardsRetried},
 		{"shards_failed", &m.shardsFailed},
+		{"journal_records_appended", &m.journalRecords},
+		{"journal_bytes_appended", &m.journalBytes},
+		{"journal_truncated_tails", &m.journalTruncatedTails},
+		{"journal_replays", &m.journalReplays},
+		{"resume_jobs_restored", &m.resumeJobsRestored},
+		{"resume_branches_skipped", &m.resumeBranchesSkipped},
+		{"peer_failures", &m.peerFailures},
+		{"peer_breaker_trips", &m.peerBreakerTrips},
+		{"peer_breaker_open", &m.peerBreakerOpen},
 	}
 }
 
@@ -227,9 +290,17 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	draining atomic.Bool // set by Shutdown: no new jobs are admitted
+	// jnl is the write-ahead job journal (nil when running without one);
+	// recovering is true while a journal replay is being applied — /readyz
+	// answers 503 and job submission is deferred until it clears.
+	jnl        *journal.Journal
+	recovering atomic.Bool
+	// breakers quarantines flapping coordinator peers (nil without peers).
+	breakers *breakerSet
 }
 
-// New builds a Server from cfg (zero value = defaults).
+// New builds a Server from cfg (zero value = defaults). Config.JournalDir
+// is ignored here — use Open for a journaled, crash-recovering server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := &metrics{}
@@ -242,6 +313,9 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	if len(cfg.Peers) > 0 {
+		s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, m)
+	}
 	s.routes()
 	return s
 }
@@ -251,6 +325,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
@@ -284,10 +359,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		for _, j := range s.jobs.list() {
 			if !j.State().terminal() {
 				j.requestCancel("server shutdown")
+				// A restored job nobody reclaimed has no goroutine to
+				// observe the cancel; retire it directly. Its terminal
+				// state is deliberately not journaled, so the next
+				// restart restores and resumes it again.
+				if s.stopUnclaimedResume(j, "server shutdown") {
+					continue
+				}
 				live++
 			}
 		}
 		if s.slots.InUse() == 0 && live == 0 {
+			if s.jnl != nil {
+				// Everything a restart needs is on disk (shutdown stops are
+				// deliberately not journaled as terminal); fsync and close.
+				_ = s.jnl.Close()
+			}
 			return nil
 		}
 		select {
@@ -322,23 +409,31 @@ const Version = "mced/0.8"
 // a node before handing it work — capacity, peers and, for every loaded
 // dataset, the .hbg payload fingerprint that anchors shard compatibility.
 type nodeInfo struct {
-	Version     string        `json:"version"`
-	GoMaxProcs  int           `json:"gomaxprocs"`
-	WorkerSlots int           `json:"worker_slots"`
-	SlotsInUse  int           `json:"slots_in_use"`
-	Peers       []string      `json:"peers,omitempty"`
-	Datasets    []DatasetInfo `json:"datasets"`
+	Version     string   `json:"version"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	WorkerSlots int      `json:"worker_slots"`
+	SlotsInUse  int      `json:"slots_in_use"`
+	Peers       []string `json:"peers,omitempty"`
+	// PeerBreakers maps each tracked peer to its circuit-breaker state
+	// ("closed", "open", "half_open"); an open peer is quarantined from
+	// shard rotation until its cooldown elapses.
+	PeerBreakers map[string]string `json:"peer_breakers,omitempty"`
+	Datasets     []DatasetInfo     `json:"datasets"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, nodeInfo{
+	info := nodeInfo{
 		Version:     Version,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		WorkerSlots: s.slots.Capacity(),
 		SlotsInUse:  s.slots.InUse(),
 		Peers:       s.cfg.Peers,
 		Datasets:    s.reg.Datasets(),
-	})
+	}
+	if s.breakers != nil {
+		info.PeerBreakers = s.breakers.states()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -350,7 +445,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe: unlike /healthz (pure liveness) it
+// answers 503 while a journal replay is still being applied and during a
+// shutdown drain, so load balancers stop routing to a node that cannot
+// accept jobs.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.recovering.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The journal and breaker counters live outside the expvar set (the
+	// journal is its own package, breaker openness is derived); mirror them
+	// into the gauges just before rendering.
+	if s.jnl != nil {
+		c := s.jnl.Counters()
+		s.m.journalRecords.Set(c.Records)
+		s.m.journalBytes.Set(c.Bytes)
+		s.m.journalTruncatedTails.Set(c.TruncatedTails)
+	}
+	if s.breakers != nil {
+		s.m.peerBreakerOpen.Set(s.breakers.openCount())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, "{")
 	vars := s.m.vars()
@@ -394,6 +516,9 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	if s.jnl != nil {
+		_ = s.jnl.AppendDataset(info.Name, info.Path, req.Format)
+	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -411,9 +536,32 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.Remove(r.PathValue("name")) {
-		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+	name := r.PathValue("name")
+	// A journaled job that is not yet terminal still needs this dataset: a
+	// restart would replay the job and fail its resume with a confusing
+	// load error. Refuse the delete until the job finishes or is cancelled.
+	if s.jnl != nil {
+		for _, j := range s.jobs.list() {
+			if j.Dataset != name || j.State().terminal() {
+				continue
+			}
+			j.mu.Lock()
+			journaled := j.journaled
+			j.mu.Unlock()
+			if journaled {
+				writeError(w, http.StatusConflict,
+					"dataset %q is referenced by journaled job %s (state %s); cancel it first",
+					name, j.ID, j.State())
+				return
+			}
+		}
+	}
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
+	}
+	if s.jnl != nil {
+		_ = s.jnl.AppendDatasetRemove(name)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -462,5 +610,8 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.requestCancel("cancelled")
+	// A journal-restored job awaiting its resume has no goroutine to observe
+	// the cancellation; retire it here.
+	s.stopUnclaimedResume(j, "cancelled")
 	writeJSON(w, http.StatusAccepted, j.View())
 }
