@@ -12,6 +12,8 @@
 //	     [-peers url,url,...] [-shard-inflight N] [-shard-timeout 1m]
 //	     [-shard-retries N] [-shard-branches N]
 //	     [-breaker-threshold N] [-breaker-cooldown 10s]
+//	     [-log-level info] [-log-format text] [-slow-query 0]
+//	     [-phase-timers] [-debug-addr host:port]
 //
 // Start the daemon, register a dataset and stream a job:
 //
@@ -52,14 +54,31 @@
 // after -breaker-threshold consecutive failures the peer is quarantined
 // for -breaker-cooldown, then a single probe shard decides whether it
 // rejoins the rotation. See the README's "Distributed serving" section.
+//
+// Observability: GET /metrics serves Prometheus text exposition (histograms
+// for job latency, queue wait, per-phase time, stream stall, journal fsync
+// and shard RTT) or, with ?format=json, the flat expvar counters. Every job
+// carries a trace timeline readable at GET /v1/jobs/{id}/trace; in
+// coordinator mode the trace ID propagates to workers via a traceparent
+// header so shard spans nest under the coordinator job. -log-level and
+// -log-format control the structured (log/slog) job logs on stderr;
+// -slow-query logs a sampled timeline for jobs slower than the threshold;
+// -phase-timers enables per-phase timing on every job (also settable per
+// job in the request); -debug-addr opens a second listener serving
+// net/http/pprof and expvar for live profiling, kept off the main API
+// address so profiling endpoints are never exposed to job clients. See the
+// README's "Observability" section.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -124,6 +143,12 @@ func main() {
 
 		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive peer failures that trip its circuit breaker (0 = 5)")
 		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "quarantine before an open breaker admits a probe shard (0 = 10s)")
+
+		logLevel    = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "structured-log encoding on stderr: text or json")
+		slowQuery   = flag.Duration("slow-query", 0, "log a sampled trace timeline for jobs slower than this (0 = disabled)")
+		phaseTimers = flag.Bool("phase-timers", false, "collect per-phase timings on every job (jobs can also opt in per request)")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for net/http/pprof and expvar (empty = disabled)")
 	)
 	flag.Var(&datasets, "dataset", "register a dataset at boot as name=path (repeatable)")
 	flag.Parse()
@@ -139,6 +164,10 @@ func main() {
 		}
 	}
 	if err := chaos.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		fatal(err)
 	}
 	var bootDatasets []service.DatasetSpec
@@ -162,6 +191,9 @@ func main() {
 		ShardMaxBranches:   *shardBranches,
 		BreakerThreshold:   *breakerThreshold,
 		BreakerCooldown:    *breakerCooldown,
+		Logger:             logger,
+		SlowQuery:          *slowQuery,
+		PhaseTimers:        *phaseTimers,
 		BootDatasets:       bootDatasets,
 	})
 	if err != nil {
@@ -189,6 +221,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mced: listening on http://%s\n", bound)
 
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr); err != nil {
+			fatal(err)
+		}
+	}
+
 	httpSrv := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -214,6 +252,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mced: job shutdown:", jobErr)
 		os.Exit(1)
 	}
+}
+
+// buildLogger constructs the structured stderr logger the service threads
+// through its job lifecycle logs.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
+}
+
+// serveDebug opens the profiling listener: net/http/pprof plus expvar on an
+// explicit mux of its own, so the debug surface shares nothing with the job
+// API mux and is only reachable on the operator-chosen address.
+func serveDebug(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "mced: debug (pprof, expvar) on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "mced: debug listener:", err)
+		}
+	}()
+	return nil
 }
 
 func fatal(err error) {

@@ -99,6 +99,10 @@ type Options = core.Options
 // early-termination ratios, timings).
 type Stats = core.Stats
 
+// PhaseTime names one per-phase timer of a run; Stats.PhaseTimes returns
+// the four timers (universe, pivot, et, emit) in fixed order.
+type PhaseTime = core.PhaseTime
+
 // MergeStats folds src's per-worker counters into dst — the aggregation the
 // distributed coordinator applies across the Stats of remote branch-range
 // shards. Coordinator-only fields (wall-clock spans, graph properties, the

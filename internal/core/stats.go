@@ -129,6 +129,25 @@ type Stats struct {
 	ShardsFailed int64 `json:"shards_failed,omitempty"`
 }
 
+// PhaseTime names one per-phase timer of a run — the machine-readable
+// form the service's metrics layer and cmd/mce's -json output consume.
+type PhaseTime struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// PhaseTimes returns the four per-phase timers in their fixed order
+// (universe, pivot, et, emit). All four are zero unless the run set
+// Options.PhaseTimers.
+func (s *Stats) PhaseTimes() [4]PhaseTime {
+	return [4]PhaseTime{
+		{Name: "universe", Duration: s.UniverseTime},
+		{Name: "pivot", Duration: s.PivotTime},
+		{Name: "et", Duration: s.ETTime},
+		{Name: "emit", Duration: s.EmitTime},
+	}
+}
+
 // MergeStats folds src's per-worker counters into dst — the cross-shard
 // aggregation entry point of the distributed coordinator, which sums the
 // Stats of remote branch-range shards exactly like the parallel driver sums

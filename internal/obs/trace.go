@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCap sizes a trace's span arena. Spans past the capacity are
+// dropped and counted — the arena never grows, which is what keeps span
+// recording allocation-free on the enumeration path.
+const DefaultSpanCap = 256
+
+// Span is one timed step of a job: queueing, session acquisition, the
+// run itself, durable checkpoints, shard dispatches, the stream drain.
+type Span struct {
+	Name string
+	// Peer is the base URL of the worker node a span was imported from
+	// ("" = recorded locally).
+	Peer string
+	// Lo/Hi carry the branch interval of checkpoint and shard spans
+	// (both zero otherwise).
+	Lo, Hi int
+	Start  int64 // wall clock, Unix nanoseconds
+	Dur    int64 // nanoseconds
+}
+
+// Trace is one job's span timeline. The span arena is pre-sized at
+// construction; Record and RecordRange assign into it by index under a
+// mutex, so the per-span cost on the hot path is a lock and a store —
+// never an allocation. Cross-node spans merged from worker peers arrive
+// through Add.
+type Trace struct {
+	id     string // 32 lowercase hex digits
+	remote bool   // the ID was adopted from a traceparent header
+
+	mu sync.Mutex
+	//hbbmc:guardedby mu
+	n int
+	//hbbmc:guardedby mu
+	spans []Span // len == capacity; [0, n) are recorded
+	//hbbmc:guardedby mu
+	dropped int64
+}
+
+// NewTrace returns a trace with a fresh random ID and the default span
+// capacity.
+func NewTrace() *Trace {
+	return &Trace{id: newTraceID(), spans: make([]Span, DefaultSpanCap)}
+}
+
+// NewTraceWithID returns a trace adopting an ID propagated from a remote
+// coordinator (remote=true marks the parent as remote in views). An
+// invalid id is replaced with a fresh one.
+func NewTraceWithID(id string, remote bool) *Trace {
+	if !validTraceID(id) {
+		return NewTrace()
+	}
+	return &Trace{id: id, remote: remote, spans: make([]Span, DefaultSpanCap)}
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Record appends a span. name should be a constant — the call is on the
+// job hot path and must not allocate.
+//
+//hbbmc:noalloc
+func (t *Trace) Record(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n < len(t.spans) {
+		t.spans[t.n] = Span{Name: name, Start: start.UnixNano(), Dur: int64(d)}
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// RecordRange appends a span carrying a branch interval [lo, hi) —
+// checkpoint and shard spans.
+//
+//hbbmc:noalloc
+func (t *Trace) RecordRange(name string, lo, hi int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n < len(t.spans) {
+		t.spans[t.n] = Span{Name: name, Lo: lo, Hi: hi, Start: start.UnixNano(), Dur: int64(d)}
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Add appends a fully-formed span — the import path for spans a
+// coordinator merges from its worker peers.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n < len(t.spans) {
+		t.spans[t.n] = s
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns the spans discarded because the arena was full.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// TraceView is the JSON rendering of a trace: the timeline a client reads
+// from GET /v1/jobs/{id}/trace and the form worker spans travel back to
+// the coordinator in.
+type TraceView struct {
+	TraceID string `json:"trace_id"`
+	// RemoteParent marks a shard job whose trace ID was adopted from a
+	// coordinator's traceparent header.
+	RemoteParent bool       `json:"remote_parent,omitempty"`
+	DroppedSpans int64      `json:"dropped_spans,omitempty"`
+	Spans        []SpanView `json:"spans"`
+}
+
+// SpanView is the JSON rendering of one span. Start times are per-node
+// wall clocks; across nodes they are comparable only as well as the
+// fleet's clocks are synchronised.
+type SpanView struct {
+	Name        string `json:"name"`
+	Peer        string `json:"peer,omitempty"`
+	BranchLo    int    `json:"branch_lo,omitempty"`
+	BranchHi    int    `json:"branch_hi,omitempty"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	DurationNS  int64  `json:"duration_ns"`
+}
+
+// Span converts a view back into a span (the coordinator's merge path).
+func (v SpanView) Span() Span {
+	return Span{Name: v.Name, Peer: v.Peer, Lo: v.BranchLo, Hi: v.BranchHi, Start: v.StartUnixNS, Dur: v.DurationNS}
+}
+
+// View snapshots the trace, spans ordered by start time. Nil traces view
+// as the zero TraceView.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans[:t.n]...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	v := TraceView{TraceID: t.id, RemoteParent: t.remote, DroppedSpans: dropped, Spans: make([]SpanView, len(spans))}
+	for i, s := range spans {
+		v.Spans[i] = SpanView{
+			Name: s.Name, Peer: s.Peer, BranchLo: s.Lo, BranchHi: s.Hi,
+			StartUnixNS: s.Start, DurationNS: s.Dur,
+		}
+	}
+	return v
+}
+
+// TraceparentHeader is the propagation header the coordinator sets on
+// shard dispatches, following the W3C trace-context shape:
+// "00-<32 hex trace id>-<16 hex span id>-01".
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a traceparent header value carrying traceID
+// (which must be 32 lowercase hex digits; "" returns "").
+func FormatTraceparent(traceID string) string {
+	if !validTraceID(traceID) {
+		return ""
+	}
+	return "00-" + traceID + "-" + newSpanID() + "-01"
+}
+
+// ParseTraceparent extracts the trace ID from a traceparent header value.
+func ParseTraceparent(h string) (string, bool) {
+	// version "-" traceid "-" spanid "-" flags
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	if h[:2] == "ff" { // forbidden version
+		return "", false
+	}
+	if !hexLower(h[:2]) || !hexLower(h[53:]) {
+		return "", false
+	}
+	id, span := h[3:35], h[36:52]
+	if !validTraceID(id) || !hexLower(span) || span == "0000000000000000" {
+		return "", false
+	}
+	return id, true
+}
+
+func validTraceID(id string) bool {
+	return len(id) == 32 && hexLower(id) && id != "00000000000000000000000000000000"
+}
+
+func hexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idFallback feeds deterministic IDs if crypto/rand ever fails (it does
+// not on any supported platform, but an observability layer must not be
+// able to panic the job path).
+var idFallback atomic.Int64
+
+func newTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fallbackID(32)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func newSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fallbackID(16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func fallbackID(width int) string {
+	n := idFallback.Add(1)
+	s := strconv.FormatInt(n, 16)
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordAndView(t *testing.T) {
+	tr := NewTrace()
+	if len(tr.ID()) != 32 || !hexLower(tr.ID()) {
+		t.Fatalf("trace ID %q is not 32 lowercase hex digits", tr.ID())
+	}
+	base := time.Now()
+	tr.Record("run", base.Add(time.Millisecond), 5*time.Millisecond)
+	tr.Record("queued", base, time.Millisecond)
+	tr.RecordRange("checkpoint", 3, 9, base.Add(2*time.Millisecond), time.Millisecond)
+	tr.Add(Span{Name: "shard_dispatch", Peer: "http://w1", Lo: 0, Hi: 4, Start: base.UnixNano() + 1, Dur: 42})
+
+	v := tr.View()
+	if v.TraceID != tr.ID() || v.RemoteParent || v.DroppedSpans != 0 {
+		t.Fatalf("unexpected view header: %+v", v)
+	}
+	if len(v.Spans) != 4 {
+		t.Fatalf("view has %d spans, want 4", len(v.Spans))
+	}
+	// Ordered by start time: queued first, run last.
+	if v.Spans[0].Name != "queued" || v.Spans[3].Name != "checkpoint" {
+		t.Fatalf("spans not ordered by start: %+v", v.Spans)
+	}
+	ck := v.Spans[3]
+	if ck.BranchLo != 3 || ck.BranchHi != 9 || ck.DurationNS != int64(time.Millisecond) {
+		t.Fatalf("checkpoint span mangled: %+v", ck)
+	}
+	var peer SpanView
+	for _, s := range v.Spans {
+		if s.Peer != "" {
+			peer = s
+		}
+	}
+	if peer.Name != "shard_dispatch" || peer.Peer != "http://w1" {
+		t.Fatalf("imported span mangled: %+v", peer)
+	}
+	if got := peer.Span(); got.Peer != "http://w1" || got.Hi != 4 {
+		t.Fatalf("SpanView round trip mangled: %+v", got)
+	}
+}
+
+// TestTraceArenaOverflow fills the span arena and checks that overflow is
+// dropped and counted rather than grown.
+func TestTraceArenaOverflow(t *testing.T) {
+	tr := NewTrace()
+	start := time.Now()
+	for i := 0; i < DefaultSpanCap+10; i++ {
+		tr.Record("s", start, time.Microsecond)
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("Dropped = %d, want 10", got)
+	}
+	if v := tr.View(); len(v.Spans) != DefaultSpanCap || v.DroppedSpans != 10 {
+		t.Fatalf("view has %d spans / %d dropped, want %d / 10", len(v.Spans), v.DroppedSpans, DefaultSpanCap)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Record("x", time.Now(), time.Second)
+	tr.RecordRange("x", 0, 1, time.Now(), time.Second)
+	tr.Add(Span{})
+	if tr.ID() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	if v := tr.View(); v.TraceID != "" || len(v.Spans) != 0 {
+		t.Fatalf("nil trace view = %+v", v)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	h := FormatTraceparent(tr.ID())
+	if !strings.HasPrefix(h, "00-"+tr.ID()+"-") || !strings.HasSuffix(h, "-01") || len(h) != 55 {
+		t.Fatalf("malformed traceparent %q", h)
+	}
+	id, ok := ParseTraceparent(h)
+	if !ok || id != tr.ID() {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v", h, id, ok)
+	}
+	adopted := NewTraceWithID(id, true)
+	if adopted.ID() != id || !adopted.View().RemoteParent {
+		t.Fatalf("adopted trace mangled: %q", adopted.ID())
+	}
+}
+
+func TestTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-" + strings.Repeat("0", 32) + "-1234567890abcdef-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-0000000000000000-01", // all-zero span id
+		"00-" + strings.Repeat("A", 32) + "-1234567890abcdef-01", // uppercase hex
+		"ff-" + strings.Repeat("a", 32) + "-1234567890abcdef-01", // forbidden version
+		"00-" + strings.Repeat("a", 32) + "-1234567890abcdef-01x",
+		"00_" + strings.Repeat("a", 32) + "-1234567890abcdef-01",
+	}
+	for _, h := range bad {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted as %q", h, id)
+		}
+	}
+	if FormatTraceparent("nope") != "" {
+		t.Fatal("FormatTraceparent accepted an invalid trace ID")
+	}
+	if tr := NewTraceWithID("nope", true); len(tr.ID()) != 32 || tr.View().RemoteParent {
+		t.Fatalf("NewTraceWithID kept an invalid ID: %q", tr.ID())
+	}
+}

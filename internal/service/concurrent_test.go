@@ -170,6 +170,35 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	if done < 6 || stopped < 6 { // 2 warmups + 4 counts; 3 limited + 3 cancels
 		t.Fatalf("jobs_done=%d jobs_stopped=%d, want ≥6 each", done, stopped)
 	}
+
+	// The terminal counters must agree exactly with the job history: every
+	// job the server remembers is terminal, counted once under its state,
+	// and carries a trace ID.
+	resp, data := e.do("GET", "/v1/jobs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/jobs: %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs []service.JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != len(specs)+2 { // the workload plus the two warmups
+		t.Fatalf("job history holds %d jobs, want %d", len(list.Jobs), len(specs)+2)
+	}
+	byState := map[service.JobState]int64{}
+	for _, v := range list.Jobs {
+		byState[v.State]++
+		if v.TraceID == "" {
+			t.Errorf("job %s has no trace ID", v.ID)
+		}
+	}
+	if failed := e.metric("jobs_failed"); done != byState[service.StateDone] ||
+		stopped != byState[service.StateStopped] || failed != byState[service.StateFailed] {
+		t.Fatalf("counters done=%d stopped=%d failed=%d, history %v",
+			done, stopped, failed, byState)
+	}
 }
 
 // jsonHasNonZero reports whether the flat JSON object data maps key to a

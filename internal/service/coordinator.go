@@ -15,6 +15,7 @@ import (
 
 	hbbmc "github.com/graphmining/hbbmc"
 	"github.com/graphmining/hbbmc/internal/distrib"
+	"github.com/graphmining/hbbmc/internal/obs"
 )
 
 // This file is the coordinator half of mced's distributed mode. A node
@@ -43,10 +44,13 @@ const (
 )
 
 // shardResult is one successful shard: its buffered cliques (empty in count
-// mode) and the counters from its stream trailer or terminal status.
+// mode), the counters from its stream trailer or terminal status, and the
+// worker's span timeline to merge under the coordinator's trace.
 type shardResult struct {
 	cliques [][]int32
 	stats   *hbbmc.Stats
+	peer    string
+	trace   *obs.TraceView
 }
 
 // coordinator is the per-job fan-out state.
@@ -56,6 +60,10 @@ type coordinator struct {
 	req  jobRequest // the client's request; algorithm fields ride into every shard
 	tmpl distrib.Descriptor
 	rc   *retryClient
+	// traceparent is the propagation header value every shard dispatch
+	// carries, computed once from the job's trace ID — the workers adopt it,
+	// so their spans come back under this job's trace.
+	traceparent string
 
 	peers []string     // verified peer base URLs
 	next  atomic.Int64 // round-robin peer cursor
@@ -82,9 +90,9 @@ type coordinator struct {
 // admission entirely: the enumeration runs on the peers, and holding local
 // slots for the merge loop would let coordinator jobs starve the node's own
 // shard work.
-func (s *Server) startCoordinatedJob(w http.ResponseWriter, req *jobRequest, sess *hbbmc.Session, cached bool, timeout time.Duration, buffer int) {
+func (s *Server) startCoordinatedJob(w http.ResponseWriter, req *jobRequest, sess *hbbmc.Session, cached bool, timeout time.Duration, buffer int, tr *obs.Trace) {
 	q := hbbmc.QueryOptions{MaxCliques: req.MaxCliques}
-	j := s.jobs.create(req.Dataset, req.Mode, 0, sess.Options(), q, 0, buffer)
+	j := s.jobs.create(req.Dataset, req.Mode, 0, sess.Options(), q, 0, buffer, tr)
 	j.mu.Lock()
 	j.sessionCached = cached
 	j.prepTime = sess.PrepTime()
@@ -117,11 +125,12 @@ func (s *Server) startCoordinatedJob(w http.ResponseWriter, req *jobRequest, ses
 func (s *Server) runCoordinator(ctx context.Context, cancel context.CancelFunc, j *Job, sess *hbbmc.Session, req jobRequest) {
 	defer cancel()
 	co := &coordinator{
-		s:    s,
-		j:    j,
-		req:  req,
-		tmpl: distrib.ForSession(req.Dataset, sess),
-		rc:   newRetryClient(shardHTTPClient, 3, 25*time.Millisecond, 500*time.Millisecond),
+		s:           s,
+		j:           j,
+		req:         req,
+		tmpl:        distrib.ForSession(req.Dataset, sess),
+		rc:          newRetryClient(shardHTTPClient, 3, 25*time.Millisecond, 500*time.Millisecond),
+		traceparent: obs.FormatTraceparent(j.trace.ID()),
 	}
 	co.rc.onRetry = func() {
 		s.m.shardsRetried.Add(1)
@@ -219,6 +228,9 @@ func (co *coordinator) peerFor(base, attempt int) string {
 			if bs.allow(peer) {
 				return peer
 			}
+			// A zero-duration marker in the timeline: this peer was skipped
+			// because its breaker was open when the shard looked for a home.
+			co.j.trace.Add(obs.Span{Name: "breaker_skip", Peer: peer, Start: time.Now().UnixNano()})
 		}
 	}
 	return co.peers[(base+attempt)%n]
@@ -269,10 +281,15 @@ func (co *coordinator) runShard(ctx context.Context, d distrib.Descriptor, launc
 			}
 		}
 		peer := co.peerFor(base, attempt)
+		attemptStart := time.Now()
 		res, verdict, err := co.tryShard(ctx, d, peer)
 		co.reportShard(peer, verdict)
 		switch verdict {
 		case shardOK:
+			co.j.trace.Add(obs.Span{
+				Name: "shard_dispatch", Peer: peer, Lo: d.Lo, Hi: d.Hi,
+				Start: attemptStart.UnixNano(), Dur: int64(time.Since(attemptStart)),
+			})
 			co.deliver(ctx, res)
 			return
 		case shardFatal:
@@ -280,7 +297,16 @@ func (co *coordinator) runShard(ctx context.Context, d distrib.Descriptor, launc
 			co.failed.Add(1)
 			co.fail(err)
 			return
+		case shardRetry:
+			co.j.trace.Add(obs.Span{
+				Name: "shard_retry", Peer: peer, Lo: d.Lo, Hi: d.Hi,
+				Start: attemptStart.UnixNano(), Dur: int64(time.Since(attemptStart)),
+			})
 		case shardSplit:
+			co.j.trace.Add(obs.Span{
+				Name: "shard_halve", Peer: peer, Lo: d.Lo, Hi: d.Hi,
+				Start: attemptStart.UnixNano(), Dur: int64(time.Since(attemptStart)),
+			})
 			if a, b, ok := d.Halve(); ok {
 				// Straggler: halving follows the guided-chunking shape back
 				// down — each half is a fresh descriptor with a fresh retry
@@ -316,6 +342,17 @@ func (co *coordinator) deliver(ctx context.Context, res *shardResult) {
 	defer co.deliverMu.Unlock()
 	if res.stats != nil {
 		co.shardStats = append(co.shardStats, res.stats)
+	}
+	if res.trace != nil {
+		// Merge the worker's spans under this job's trace, each tagged with
+		// the peer it ran on (worker-local spans carry no peer themselves).
+		for _, sv := range res.trace.Spans {
+			sp := sv.Span()
+			if sp.Peer == "" {
+				sp.Peer = res.peer
+			}
+			co.j.trace.Add(sp)
+		}
 	}
 	if co.j.cliques != nil {
 		for _, c := range res.cliques {
@@ -480,13 +517,14 @@ func classifyDispatchErr(ctx, shCtx context.Context) shardVerdict {
 // ({"c":[...]}), a checkpoint marker ({"ckpt":W}) or the trailer
 // ({"done":true,...}).
 type shardLine struct {
-	C          []int32      `json:"c"`
-	Ckpt       int          `json:"ckpt,omitempty"`
-	Done       bool         `json:"done"`
-	State      JobState     `json:"state"`
-	StopReason string       `json:"stop_reason"`
-	Error      string       `json:"error"`
-	Stats      *hbbmc.Stats `json:"stats"`
+	C          []int32        `json:"c"`
+	Ckpt       int            `json:"ckpt,omitempty"`
+	Done       bool           `json:"done"`
+	State      JobState       `json:"state"`
+	StopReason string         `json:"stop_reason"`
+	Error      string         `json:"error"`
+	Stats      *hbbmc.Stats   `json:"stats"`
+	Trace      *obs.TraceView `json:"trace"`
 }
 
 // tryShard runs one dispatch attempt of d against peer: POST the shard job,
@@ -501,13 +539,18 @@ func (co *coordinator) tryShard(ctx context.Context, d distrib.Descriptor, peer 
 	if err != nil {
 		return nil, shardFatal, err
 	}
+	rttStart := time.Now()
 	resp, err := co.rc.Do(shCtx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, peer+"/v1/jobs", bytes.NewReader(body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
+			if co.traceparent != "" {
+				req.Header.Set(obs.TraceparentHeader, co.traceparent)
+			}
 		}
 		return req, err
 	})
+	co.s.obs.shardRTT.ObserveDuration(time.Since(rttStart))
 	if err != nil {
 		return nil, classifyDispatchErr(ctx, shCtx), fmt.Errorf("peer %s: dispatching shard [%d,%d): %w", peer, d.Lo, d.Hi, err)
 	}
@@ -562,7 +605,7 @@ func (co *coordinator) consumeStream(ctx, shCtx context.Context, peer, id string
 	if resp.StatusCode != http.StatusOK {
 		return nil, shardRetry, fmt.Errorf("peer %s job %s: stream status %d", peer, id, resp.StatusCode)
 	}
-	res := &shardResult{}
+	res := &shardResult{peer: peer}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for sc.Scan() {
@@ -578,6 +621,7 @@ func (co *coordinator) consumeStream(ctx, shCtx context.Context, peer, id string
 		case rec.Done:
 			if rec.State == StateDone || (rec.State == StateStopped && rec.StopReason == "max_cliques") {
 				res.stats = rec.Stats
+				res.trace = rec.Trace
 				return res, shardOK, nil
 			}
 			return nil, shardRetry, fmt.Errorf("peer %s job %s ended %s (%s%s)", peer, id, rec.State, rec.StopReason, rec.Error)
@@ -597,6 +641,30 @@ func (co *coordinator) consumeStream(ctx, shCtx context.Context, peer, id string
 	return nil, classifyDispatchErr(ctx, shCtx), fmt.Errorf("peer %s job %s: stream ended without trailer", peer, id)
 }
 
+// fetchTrace best-effort fetches a terminal shard job's span timeline from
+// its worker node (count shards have no stream trailer to carry it). A
+// failure returns nil — the coordinator's timeline just lacks that shard's
+// worker-side spans.
+func (co *coordinator) fetchTrace(ctx context.Context, peer, id string) *obs.TraceView {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := shardHTTPClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var tv obs.TraceView
+	if json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&tv) != nil {
+		return nil
+	}
+	return &tv
+}
+
 // awaitCount long-polls a count shard's status until it is terminal.
 func (co *coordinator) awaitCount(ctx, shCtx context.Context, peer, id string) (*shardResult, shardVerdict, error) {
 	for {
@@ -614,10 +682,10 @@ func (co *coordinator) awaitCount(ctx, shCtx context.Context, peer, id string) (
 		}
 		switch view.State {
 		case StateDone:
-			return &shardResult{stats: view.Stats}, shardOK, nil
+			return &shardResult{stats: view.Stats, peer: peer, trace: co.fetchTrace(shCtx, peer, id)}, shardOK, nil
 		case StateStopped:
 			if view.StopReason == "max_cliques" {
-				return &shardResult{stats: view.Stats}, shardOK, nil
+				return &shardResult{stats: view.Stats, peer: peer, trace: co.fetchTrace(shCtx, peer, id)}, shardOK, nil
 			}
 			return nil, shardRetry, fmt.Errorf("peer %s job %s stopped: %s", peer, id, view.StopReason)
 		case StateFailed:

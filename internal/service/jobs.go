@@ -11,6 +11,7 @@ import (
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/obs"
 	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
@@ -60,6 +61,10 @@ type Job struct {
 	Opts    hbbmc.Options
 	Query   hbbmc.QueryOptions
 	Workers int // worker slots held while running
+	// trace is the job's span timeline: assigned at creation (a coordinator
+	// dispatch adopts the propagated trace ID), immutable afterwards, and
+	// internally synchronized — recorded into without holding mu.
+	trace *obs.Trace
 
 	mu sync.Mutex
 	//hbbmc:guardedby mu
@@ -84,6 +89,10 @@ type Job struct {
 	sessionCached bool
 	//hbbmc:guardedby mu
 	prepTime time.Duration
+	// queueWait is the admission wait this job paid before its worker slots
+	// were granted (zero for coordinator jobs, which hold no local slots).
+	//hbbmc:guardedby mu
+	queueWait time.Duration
 	// sharded marks a coordinator job: its branch intervals ran on peer
 	// nodes and it held no local worker slots.
 	//hbbmc:guardedby mu
@@ -152,6 +161,12 @@ type JobView struct {
 	BranchRange *[2]int `json:"branch_range,omitempty"`
 	// Delivered counts cliques handed to the streaming client so far.
 	Delivered int64 `json:"cliques_delivered"`
+	// TraceID identifies the job's span timeline (GET /v1/jobs/{id}/trace);
+	// a shard job dispatched by a coordinator carries the coordinator's ID.
+	TraceID string `json:"trace_id,omitempty"`
+	// QueueWaitMS is the admission wait the job paid before its worker
+	// slots were granted, in milliseconds.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	// MaxClique is the witness of a finished max_clique job (sorted original
 	// vertex ids); its size is Stats.MaxCliqueSize. A kclique_count job's
 	// count is Stats.KCliques.
@@ -182,6 +197,8 @@ func (j *Job) View() JobView {
 		PrepTimeNS:    j.prepTime,
 		Sharded:       j.sharded,
 		Delivered:     j.delivered.Load(),
+		TraceID:       j.trace.ID(),
+		QueueWaitMS:   float64(j.queueWait) / float64(time.Millisecond),
 		Stats:         j.stats,
 		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
 	}
@@ -238,13 +255,20 @@ type jobManager struct {
 	// jnl is the write-ahead journal (nil when the server runs without one);
 	// terminal transitions of journaled jobs are appended to it.
 	jnl *journal.Journal
+	// onTerminal runs on every terminal transition, after the terminal state
+	// is recorded and before the done channel closes — the server's
+	// observability hook (latency histograms, trace closure, logging).
+	onTerminal func(*Job)
 }
 
 func newJobManager(maxHistory int, m *metrics) *jobManager {
 	return &jobManager{jobs: make(map[string]*Job), maxHistory: maxHistory, m: m}
 }
 
-func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q hbbmc.QueryOptions, workers, buffer int) *Job {
+func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q hbbmc.QueryOptions, workers, buffer int, tr *obs.Trace) *Job {
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
 	jm.mu.Lock()
 	jm.seq++
 	j := &Job{
@@ -255,6 +279,7 @@ func (jm *jobManager) create(dataset, typ string, k int, opts hbbmc.Options, q h
 		Opts:      opts,
 		Query:     q,
 		Workers:   workers,
+		trace:     tr,
 		state:     StateQueued,
 		created:   time.Now(),
 		cancelled: make(chan struct{}),
@@ -385,6 +410,9 @@ func (jm *jobManager) markStopped(j *Job, reason string) {
 	jm.m.jobsQueued.Add(-1)
 	jm.m.jobsStopped.Add(1)
 	jm.journalTerminal(j)
+	if jm.onTerminal != nil {
+		jm.onTerminal(j)
+	}
 	close(j.done)
 }
 
@@ -404,6 +432,9 @@ func (jm *jobManager) markFailed(j *Job, msg string) {
 	}
 	jm.m.jobsFailed.Add(1)
 	jm.journalTerminal(j)
+	if jm.onTerminal != nil {
+		jm.onTerminal(j)
+	}
 	close(j.done)
 }
 
@@ -453,5 +484,8 @@ func (jm *jobManager) finish(j *Job, stats *hbbmc.Stats, runErr error, ctx conte
 		jm.m.jobsFailed.Add(1)
 	}
 	jm.journalTerminal(j)
+	if jm.onTerminal != nil {
+		jm.onTerminal(j)
+	}
 	close(j.done)
 }

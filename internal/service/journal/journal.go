@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/graphmining/hbbmc/internal/chaos"
 )
@@ -102,8 +103,21 @@ type Journal struct {
 	// snapshot without re-reading the segments.
 	//hbbmc:guardedby mu
 	live *Replay
+	// syncObs, when set, observes the duration of each append's fsync —
+	// the latency every durable acknowledgement pays.
+	//hbbmc:guardedby mu
+	syncObs func(time.Duration)
 
 	records, bytes, rotations, truncated, segments atomic.Int64
+}
+
+// SetSyncObserver installs fn to be called with the duration of each
+// append fsync. Pass nil to remove the observer. fn must be safe for
+// concurrent use and must not block: it runs under the journal lock.
+func (j *Journal) SetSyncObserver(fn func(time.Duration)) {
+	j.mu.Lock()
+	j.syncObs = fn
+	j.mu.Unlock()
 }
 
 // Options sizes the journal. The zero value uses the defaults.
@@ -319,8 +333,12 @@ func (j *Journal) append(rec *Record, extraPoints ...string) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if j.syncObs != nil {
+		j.syncObs(time.Since(syncStart))
 	}
 	j.size += int64(len(frame))
 	j.records.Add(1)

@@ -12,6 +12,7 @@ import (
 	hbbmc "github.com/graphmining/hbbmc"
 	"github.com/graphmining/hbbmc/internal/chaos"
 	"github.com/graphmining/hbbmc/internal/distrib"
+	"github.com/graphmining/hbbmc/internal/obs"
 	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
@@ -40,6 +41,7 @@ func Open(cfg Config) (*Server, error) {
 	}
 	s.jnl = jnl
 	s.jobs.jnl = jnl
+	jnl.SetSyncObserver(s.obs.journalFsync.ObserveDuration)
 	if err := s.registerBootDatasets(cfg.BootDatasets); err != nil {
 		_ = jnl.Close()
 		return nil, err
@@ -134,11 +136,14 @@ func (s *Server) restoreJob(jr *journal.JobReplay) (*Job, bool) {
 		reqOK = false
 	}
 	j := &Job{
-		ID:        jr.ID,
-		Dataset:   req.Dataset,
-		Mode:      typ,
-		K:         req.K,
-		Opts:      opts,
+		ID:      jr.ID,
+		Dataset: req.Dataset,
+		Mode:    typ,
+		K:       req.K,
+		Opts:    opts,
+		// The original trace died with the crashed process; the restored job
+		// gets a fresh timeline covering its resume.
+		trace:     obs.NewTrace(),
 		created:   time.Now(), // submission time is not journaled; restore time stands in
 		cancelled: make(chan struct{}),
 		done:      make(chan struct{}),
@@ -260,7 +265,11 @@ func (s *Server) planResume(j *Job, rs *resumeState, cursor int) (*resumePlan, b
 	if workers > s.slots.Capacity() {
 		workers = s.slots.Capacity()
 	}
-	q := hbbmc.QueryOptions{Workers: workers, MaxCliques: rs.req.MaxCliques}
+	q := hbbmc.QueryOptions{
+		Workers:     workers,
+		MaxCliques:  rs.req.MaxCliques,
+		PhaseTimers: s.cfg.PhaseTimers || rs.req.PhaseTimers,
+	}
 	if cursor > 0 {
 		q.BranchLo, q.BranchHi = cursor, branches
 	}
@@ -362,6 +371,7 @@ func (s *Server) launchResume(j *Job, plan *resumePlan, wait time.Duration) (int
 		case <-watchDone:
 		}
 	}()
+	qStart := time.Now()
 	err := s.slots.Acquire(admCtx, plan.workers)
 	if err == nil && j.cancelReason.Load() != nil {
 		s.slots.Release(plan.workers)
@@ -387,12 +397,16 @@ func (s *Server) launchResume(j *Job, plan *resumePlan, wait time.Duration) (int
 	} else {
 		runCtx, cancel = context.WithCancel(runCtx)
 	}
+	queueWait := time.Since(qStart)
+	j.trace.Record("queued", qStart, queueWait)
+	s.obs.queueWait.ObserveDuration(queueWait)
 	j.mu.Lock()
 	j.ckptBase = plan.base
 	j.Query = plan.q
 	j.Workers = plan.workers
 	j.sessionCached = plan.cached
 	j.prepTime = plan.sess.PrepTime()
+	j.queueWait = queueWait
 	j.cancel = cancel
 	j.mu.Unlock()
 	if j.cancelReason.Load() != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	hbbmc "github.com/graphmining/hbbmc"
+	"github.com/graphmining/hbbmc/internal/obs"
 )
 
 // Registry maps dataset names to graph files, loads each graph once
@@ -31,6 +32,9 @@ type Registry struct {
 	used   int64 // bytes of built sessions
 	budget int64
 	m      *metrics
+	// buildHist observes cache-miss session construction time (nil-safe:
+	// obs histograms ignore observations on a nil receiver).
+	buildHist *obs.Histogram
 }
 
 type dataset struct {
@@ -85,13 +89,14 @@ type DatasetInfo struct {
 	Sessions int `json:"sessions"`
 }
 
-func newRegistry(budget int64, m *metrics) *Registry {
+func newRegistry(budget int64, m *metrics, buildHist *obs.Histogram) *Registry {
 	return &Registry{
-		datasets: make(map[string]*dataset),
-		sessions: make(map[string]*sessionEntry),
-		lru:      list.New(),
-		budget:   budget,
-		m:        m,
+		datasets:  make(map[string]*dataset),
+		sessions:  make(map[string]*sessionEntry),
+		lru:       list.New(),
+		budget:    budget,
+		m:         m,
+		buildHist: buildHist,
 	}
 }
 
@@ -230,11 +235,13 @@ func (r *Registry) Session(name string, opts hbbmc.Options) (*hbbmc.Session, boo
 			e.err = err
 			return
 		}
+		buildStart := time.Now()
 		sess, err := hbbmc.NewSession(g, opts)
 		if err != nil {
 			e.err = err
 			return
 		}
+		r.buildHist.ObserveDuration(time.Since(buildStart))
 		e.sess = sess
 		size := sess.MemoryEstimate()
 		r.mu.Lock()

@@ -21,7 +21,7 @@ func writeGraph(t *testing.T, dir, name string, g *hbbmc.Graph) string {
 func TestRegistrySessionReuseAndKeying(t *testing.T) {
 	dir := t.TempDir()
 	m := &metrics{}
-	r := newRegistry(1<<30, m)
+	r := newRegistry(1<<30, m, nil)
 	g := hbbmc.GenerateER(300, 1500, 1)
 	if _, err := r.Register("er", writeGraph(t, dir, "er", g), "auto"); err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := newRegistry(probe.MemoryEstimate()*3/2, m)
+	r := newRegistry(probe.MemoryEstimate()*3/2, m, nil)
 	if _, err := r.Register("er", path, "auto"); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 func TestRegistryEvictSkipsJustBuiltAtTail(t *testing.T) {
 	dir := t.TempDir()
 	m := &metrics{}
-	r := newRegistry(1<<30, m)
+	r := newRegistry(1<<30, m, nil)
 	g := hbbmc.GenerateER(300, 1200, 5)
 	if _, err := r.Register("er", writeGraph(t, dir, "er", g), "auto"); err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestRegistryEvictSkipsJustBuiltAtTail(t *testing.T) {
 func TestRegistryOversizedSessionStillServes(t *testing.T) {
 	dir := t.TempDir()
 	m := &metrics{}
-	r := newRegistry(1, m) // 1 byte: everything is oversized
+	r := newRegistry(1, m, nil) // 1 byte: everything is oversized
 	g := hbbmc.GenerateER(200, 800, 3)
 	if _, err := r.Register("er", writeGraph(t, dir, "er", g), "auto"); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	hbbmc "github.com/graphmining/hbbmc"
 	"github.com/graphmining/hbbmc/internal/distrib"
+	"github.com/graphmining/hbbmc/internal/obs"
 	"github.com/graphmining/hbbmc/internal/service/journal"
 )
 
@@ -50,6 +52,10 @@ type jobRequest struct {
 	MaxCliques int64  `json:"max_cliques"` // 0 = unlimited
 	Timeout    string `json:"timeout"`     // Go duration, e.g. "30s"; "" = none
 	Buffer     int    `json:"buffer"`      // stream channel capacity; 0 = server default
+	// PhaseTimers opts this job into per-phase timers (universe/pivot/et/
+	// emit), reported in Stats and fed to the mced_phase_seconds histograms;
+	// Config.PhaseTimers turns them on server-wide instead.
+	PhaseTimers bool `json:"phase_timers,omitempty"`
 
 	// Distributed-shard fields (internal/distrib.Descriptor). BranchRange
 	// restricts the run to branch schedule positions [lo, hi); [0, 0] is
@@ -182,9 +188,20 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The trace timeline starts here. A shard dispatch from a coordinator
+	// carries a traceparent header; adopting its trace ID is what nests this
+	// node's spans under the coordinator's job in the merged timeline.
+	tr := obs.NewTrace()
+	if h := r.Header.Get(obs.TraceparentHeader); h != "" {
+		if id, ok := obs.ParseTraceparent(h); ok {
+			tr = obs.NewTraceWithID(id, true)
+		}
+	}
+
 	// Build (or fetch) the warm session first: preprocessing is not guarded
 	// by worker slots — it is the cost the cache amortises away, and a miss
 	// must not hold slots hostage while it runs.
+	sessStart := time.Now()
 	sess, cached, err := s.reg.Session(req.Dataset, opts)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -194,6 +211,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	tr.Record("session_acquire", sessStart, time.Since(sessStart))
 
 	// A branch_range marks the request as a distributed shard: verify that
 	// this node's graph, options and ordering agree with the coordinator's
@@ -244,7 +262,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	// coordinator instead.
 	if len(s.cfg.Peers) > 0 && req.BranchRange == nil && (typ == "enumerate" || typ == "count") {
 		req.Mode = typ
-		s.startCoordinatedJob(w, &req, sess, cached, timeout, buffer)
+		s.startCoordinatedJob(w, &req, sess, cached, timeout, buffer, tr)
 		return
 	}
 
@@ -262,13 +280,18 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		workers = s.slots.Capacity()
 	}
 	q := hbbmc.QueryOptions{
-		Workers:    workers,
-		MaxCliques: req.MaxCliques,
-		BranchLo:   branchLo,
-		BranchHi:   branchHi,
+		Workers:     workers,
+		MaxCliques:  req.MaxCliques,
+		BranchLo:    branchLo,
+		BranchHi:    branchHi,
+		PhaseTimers: req.PhaseTimers || s.cfg.PhaseTimers,
 	}
 
-	j := s.jobs.create(req.Dataset, typ, req.K, sess.Options(), q, workers, buffer)
+	j := s.jobs.create(req.Dataset, typ, req.K, sess.Options(), q, workers, buffer, tr)
+	s.log.Info("job created",
+		slog.String("job", j.ID), slog.String("trace", tr.ID()),
+		slog.String("dataset", req.Dataset), slog.String("type", typ),
+		slog.Int("workers", workers), slog.Bool("session_cached", cached))
 	j.mu.Lock()
 	j.sessionCached = cached
 	j.prepTime = sess.PrepTime()
@@ -311,7 +334,16 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		case <-watchDone:
 		}
 	}()
+	qStart := time.Now()
 	err = s.slots.Acquire(admCtx, workers)
+	if err == nil {
+		wait := time.Since(qStart)
+		j.mu.Lock()
+		j.queueWait = wait
+		j.mu.Unlock()
+		j.trace.Record("queued", qStart, wait)
+		s.obs.queueWait.ObserveDuration(wait)
+	}
 	if err == nil && j.cancelReason.Load() != nil {
 		// Cancelled in the instant between the grant and here: give the
 		// slots straight back and take the stopped path below.
@@ -377,6 +409,7 @@ func (s *Server) enumerateHook(ctx context.Context, j *Job, base journal.Ckpt) f
 	cum := base.Cliques
 	maxSize := base.MaxSize
 	last := time.Now()
+	prevW := j.Query.BranchLo
 	interval := s.cfg.CheckpointInterval
 	done := ctx.Done()
 	return func(lo, hi int, cliques int64, max int) {
@@ -392,6 +425,10 @@ func (s *Server) enumerateHook(ctx context.Context, j *Job, base journal.Ckpt) f
 		if s.jnl.AppendCkpt(j.ID, hi, cum, maxSize) != nil {
 			return // wedged or failing journal: keep enumerating, stop claiming
 		}
+		// The span covers the branch interval this checkpoint made durable,
+		// timed from the previous durable point.
+		j.trace.RecordRange("checkpoint", prevW, hi, last, time.Since(last))
+		prevW = hi
 		last = time.Now()
 		select {
 		case j.cliques <- streamItem{ckpt: hi}:
@@ -411,6 +448,7 @@ func (s *Server) countHook(j *Job, base journal.Ckpt, lo int) func(lo, hi int, c
 	}
 	pending := make(map[int]interval)
 	w := lo // contiguous watermark: residue + [lo, w) are accounted
+	prevW := lo
 	cum := base.Cliques
 	maxSize := base.MaxSize
 	last := time.Now()
@@ -437,6 +475,8 @@ func (s *Server) countHook(j *Job, base journal.Ckpt, lo int) func(lo, hi int, c
 			return
 		}
 		if s.jnl.AppendCkpt(j.ID, w, cum, maxSize) == nil {
+			j.trace.RecordRange("checkpoint", prevW, w, last, time.Since(last))
+			prevW = w
 			last = time.Now()
 		}
 	}
@@ -494,15 +534,25 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, 
 		var visit hbbmc.Visitor
 		if j.cliques != nil {
 			done := ctx.Done()
+			stall := s.obs.streamStall
 			visit = func(c []int32) bool {
 				cp := append([]int32(nil), c...)
 				// The bounded channel is the backpressure: a slow (or absent)
 				// streaming client blocks the enumeration here until it drains
-				// or the job is cancelled.
+				// or the job is cancelled. The fast path (buffer has room)
+				// stays un-instrumented; only actual stalls are timed.
 				select {
 				case j.cliques <- streamItem{c: cp}:
 					return true
+				default:
+				}
+				stallStart := time.Now()
+				select {
+				case j.cliques <- streamItem{c: cp}:
+					stall.ObserveDuration(time.Since(stallStart))
+					return true
 				case <-done:
+					stall.ObserveDuration(time.Since(stallStart))
 					return false
 				}
 			}
@@ -551,14 +601,17 @@ type ckptLine struct {
 
 // streamTrailer is the stream's final NDJSON record. Stats lets a
 // distributed coordinator collect a shard's counters from the same stream
-// that carried its cliques, without a follow-up status request.
+// that carried its cliques, without a follow-up status request; Trace does
+// the same for the shard's span timeline, which the coordinator merges into
+// its own job's trace.
 type streamTrailer struct {
-	Done       bool         `json:"done"`
-	State      JobState     `json:"state"`
-	StopReason string       `json:"stop_reason,omitempty"`
-	Error      string       `json:"error,omitempty"`
-	Cliques    int64        `json:"cliques"`
-	Stats      *hbbmc.Stats `json:"stats,omitempty"`
+	Done       bool           `json:"done"`
+	State      JobState       `json:"state"`
+	StopReason string         `json:"stop_reason,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	Cliques    int64          `json:"cliques"`
+	Stats      *hbbmc.Stats   `json:"stats,omitempty"`
+	Trace      *obs.TraceView `json:"trace,omitempty"`
 }
 
 // handleStreamCliques streams a job's cliques as NDJSON ({"c":[...]} per
@@ -612,6 +665,7 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	drainStart := time.Now()
 	const flushEvery = 64
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -680,7 +734,12 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 
 	// The channel closes only after the terminal state is recorded.
 	<-j.Done()
+	// The drain span covers the whole streaming handler; recorded before the
+	// trailer snapshots the timeline so the client (and a coordinator
+	// merging shard traces) sees it.
+	j.trace.Record("drain", drainStart, time.Since(drainStart))
 	v := j.View()
+	tv := j.trace.View()
 	_ = enc.Encode(streamTrailer{
 		Done:       true,
 		State:      v.State,
@@ -688,6 +747,7 @@ func (s *Server) handleStreamCliques(w http.ResponseWriter, r *http.Request) {
 		Error:      v.Error,
 		Cliques:    j.delivered.Load(),
 		Stats:      v.Stats,
+		Trace:      &tv,
 	})
 	flush()
 }

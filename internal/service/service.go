@@ -54,9 +54,12 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"runtime"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -121,6 +124,18 @@ type Config struct {
 	// BreakerCooldown is how long a tripped peer stays quarantined before a
 	// half-open probe may test it again (0 = 10s).
 	BreakerCooldown time.Duration
+
+	// Logger receives the server's structured logs (job lifecycle, slow
+	// queries). nil = discard.
+	Logger *slog.Logger
+	// SlowQuery is the end-to-end latency beyond which a finished job is
+	// dumped to the log with its span timeline and statistics, sampled to at
+	// most one dump per second (0 = disabled).
+	SlowQuery time.Duration
+	// PhaseTimers forces per-phase timers (universe/pivot/et/emit) on every
+	// job, feeding the mced_phase_seconds histograms; individual requests
+	// can also opt in per job with "phase_timers": true.
+	PhaseTimers bool
 
 	// BootDatasets are registered by Open at construction time, before any
 	// journal replay resumes interrupted jobs, so a restored job can resolve
@@ -219,45 +234,53 @@ type metrics struct {
 	// Peer circuit-breaker accounting: failed dispatch outcomes, breaker
 	// trips, and the currently-open breaker count (gauge).
 	peerFailures, peerBreakerTrips, peerBreakerOpen expvar.Int
+	// Slow-query log accounting: dumps emitted, and dumps suppressed by the
+	// one-per-second sampling rate limit.
+	slowQueries, slowQueriesSuppressed expvar.Int
 }
 
-func (m *metrics) vars() []struct {
-	name string
-	v    *expvar.Int
-} {
-	return []struct {
-		name string
-		v    *expvar.Int
-	}{
-		{"jobs_queued", &m.jobsQueued},
-		{"jobs_running", &m.jobsRunning},
-		{"jobs_done", &m.jobsDone},
-		{"jobs_stopped", &m.jobsStopped},
-		{"jobs_failed", &m.jobsFailed},
-		{"cliques_emitted", &m.cliquesEmitted},
-		{"session_cache_hits", &m.sessionHits},
-		{"session_cache_misses", &m.sessionMisses},
-		{"session_cache_evictions", &m.sessionEvictions},
-		{"session_cache_bytes", &m.sessionBytes},
-		{"datasets", &m.datasets},
-		{"admission_rejected", &m.admissionRejected},
-		{"jobs_type_enumerate", &m.jobsEnumerate},
-		{"jobs_type_count", &m.jobsCount},
-		{"jobs_type_max_clique", &m.jobsMaxClique},
-		{"jobs_type_top_k", &m.jobsTopK},
-		{"jobs_type_kclique_count", &m.jobsKCliqueCount},
-		{"shards_dispatched", &m.shardsDispatched},
-		{"shards_retried", &m.shardsRetried},
-		{"shards_failed", &m.shardsFailed},
-		{"journal_records_appended", &m.journalRecords},
-		{"journal_bytes_appended", &m.journalBytes},
-		{"journal_truncated_tails", &m.journalTruncatedTails},
-		{"journal_replays", &m.journalReplays},
-		{"resume_jobs_restored", &m.resumeJobsRestored},
-		{"resume_branches_skipped", &m.resumeBranchesSkipped},
-		{"peer_failures", &m.peerFailures},
-		{"peer_breaker_trips", &m.peerBreakerTrips},
-		{"peer_breaker_open", &m.peerBreakerOpen},
+// metricVar is one named entry of the expvar set; gauge distinguishes
+// point-in-time values from cumulative counters for the Prometheus TYPE
+// headers the /metrics exposition emits.
+type metricVar struct {
+	name  string
+	v     *expvar.Int
+	gauge bool
+}
+
+func (m *metrics) vars() []metricVar {
+	return []metricVar{
+		{"jobs_queued", &m.jobsQueued, true},
+		{"jobs_running", &m.jobsRunning, true},
+		{"jobs_done", &m.jobsDone, false},
+		{"jobs_stopped", &m.jobsStopped, false},
+		{"jobs_failed", &m.jobsFailed, false},
+		{"cliques_emitted", &m.cliquesEmitted, false},
+		{"session_cache_hits", &m.sessionHits, false},
+		{"session_cache_misses", &m.sessionMisses, false},
+		{"session_cache_evictions", &m.sessionEvictions, false},
+		{"session_cache_bytes", &m.sessionBytes, true},
+		{"datasets", &m.datasets, true},
+		{"admission_rejected", &m.admissionRejected, false},
+		{"jobs_type_enumerate", &m.jobsEnumerate, false},
+		{"jobs_type_count", &m.jobsCount, false},
+		{"jobs_type_max_clique", &m.jobsMaxClique, false},
+		{"jobs_type_top_k", &m.jobsTopK, false},
+		{"jobs_type_kclique_count", &m.jobsKCliqueCount, false},
+		{"shards_dispatched", &m.shardsDispatched, false},
+		{"shards_retried", &m.shardsRetried, false},
+		{"shards_failed", &m.shardsFailed, false},
+		{"journal_records_appended", &m.journalRecords, false},
+		{"journal_bytes_appended", &m.journalBytes, false},
+		{"journal_truncated_tails", &m.journalTruncatedTails, false},
+		{"journal_replays", &m.journalReplays, false},
+		{"resume_jobs_restored", &m.resumeJobsRestored, false},
+		{"resume_branches_skipped", &m.resumeBranchesSkipped, false},
+		{"peer_failures", &m.peerFailures, false},
+		{"peer_breaker_trips", &m.peerBreakerTrips, false},
+		{"peer_breaker_open", &m.peerBreakerOpen, true},
+		{"slow_queries", &m.slowQueries, false},
+		{"slow_queries_suppressed", &m.slowQueriesSuppressed, false},
 	}
 }
 
@@ -297,6 +320,11 @@ type Server struct {
 	recovering atomic.Bool
 	// breakers quarantines flapping coordinator peers (nil without peers).
 	breakers *breakerSet
+	// obs is the Prometheus-facing instrumentation (histograms, runtime
+	// collectors); log is the structured logger (a discard logger when
+	// Config.Logger is nil, so call sites never nil-check).
+	obs *serverObs
+	log *slog.Logger
 }
 
 // New builds a Server from cfg (zero value = defaults). Config.JournalDir
@@ -304,15 +332,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := &metrics{}
+	o := newServerObs(m)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:     cfg,
 		m:       m,
-		reg:     newRegistry(cfg.SessionBudget, m),
+		obs:     o,
+		log:     logger,
+		reg:     newRegistry(cfg.SessionBudget, m, o.sessionBuild),
 		jobs:    newJobManager(cfg.MaxJobHistory, m),
 		slots:   newSlotSem(cfg.WorkerSlots, cfg.MaxQueue),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.jobs.onTerminal = s.jobTerminal
 	if len(cfg.Peers) > 0 {
 		s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, m)
 	}
@@ -337,6 +373,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/cliques", s.handleStreamCliques)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -460,7 +497,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics renders the metrics in Prometheus text exposition format
+// (text/plain; version=0.0.4) by default — histograms included — or, when
+// the request asks for JSON (?format=json, or an Accept header naming
+// application/json), the flat expvar counter set the smoke scripts and
+// older tooling consume, keys sorted for stable diffs.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The journal and breaker counters live outside the expvar set (the
 	// journal is its own package, breaker openness is derived); mirror them
 	// into the gauges just before rendering.
@@ -473,17 +515,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.breakers != nil {
 		s.m.peerBreakerOpen.Set(s.breakers.openCount())
 	}
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, "{")
-	vars := s.m.vars()
-	for i, kv := range vars {
-		comma := ","
-		if i == len(vars)-1 {
-			comma = ""
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		vars := s.m.vars()
+		sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, "{")
+		for i, kv := range vars {
+			comma := ","
+			if i == len(vars)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(w, "  %q: %s%s\n", "mced_"+kv.name, kv.v.String(), comma)
 		}
-		fmt.Fprintf(w, "  %q: %s%s\n", "mced_"+kv.name, kv.v.String(), comma)
+		fmt.Fprintln(w, "}")
+		return
 	}
-	fmt.Fprintln(w, "}")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WritePrometheus(w)
 }
 
 var datasetNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)

@@ -125,7 +125,7 @@ func (e *testEnv) waitJob(id string) service.JobView {
 
 func (e *testEnv) metric(name string) int64 {
 	e.t.Helper()
-	resp, data := e.do("GET", "/metrics", nil)
+	resp, data := e.do("GET", "/metrics?format=json", nil)
 	if resp.StatusCode != http.StatusOK {
 		e.t.Fatalf("/metrics: %d %s", resp.StatusCode, data)
 	}

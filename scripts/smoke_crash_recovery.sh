@@ -110,7 +110,7 @@ fi
 # The trailer's logical total folds the durable pre-crash prefix back in,
 # and the journal/resume metrics must show the machinery actually ran.
 tail -1 "$WORK/rest.ndjson" | jq -e --argjson want "$WANT" '.stats.cliques == $want' >/dev/null
-curl -sf "$B/metrics" | jq -e --argjson c "$CURSOR" \
+curl -sf "$B/metrics?format=json" | jq -e --argjson c "$CURSOR" \
   '.mced_resume_jobs_restored >= 1 and
    .mced_journal_records_appended >= 1 and
    .mced_resume_branches_skipped >= $c' >/dev/null

@@ -46,7 +46,7 @@ CURL=$!
 
 # Wait until the fan-out is demonstrably under way, then kill one worker.
 for _ in $(seq 1 100); do
-  d=$(curl -sf "http://$PORT/metrics" | jq .mced_shards_dispatched)
+  d=$(curl -sf "http://$PORT/metrics?format=json" | jq .mced_shards_dispatched)
   [ "$d" -ge 10 ] && break
   sleep 0.1
 done
@@ -61,6 +61,6 @@ if [ "$GOT" -ne "$WANT" ]; then
   tail -5 "$WORK/co.log" >&2
   exit 1
 fi
-curl -sf "http://$PORT/metrics" |
+curl -sf "http://$PORT/metrics?format=json" |
   jq -e '.mced_shards_retried >= 1 and .mced_shards_dispatched >= 10 and .mced_jobs_done >= 1' >/dev/null
 echo "smoke_distributed: OK — $GOT cliques through 2-then-1 workers, re-dispatch confirmed"
